@@ -1,0 +1,218 @@
+// Benchmark harness: one benchmark per table and figure in the paper's
+// evaluation section. Each benchmark regenerates the artifact and reports a
+// headline metric so that `go test -bench=.` doubles as the reproduction
+// run. Configurations are the paper's; repetition counts are trimmed to
+// keep a full -bench pass in minutes (raise Repeats via the library API for
+// tighter confidence intervals).
+package svrlab_test
+
+import (
+	"testing"
+
+	"github.com/svrlab/svrlab"
+	"github.com/svrlab/svrlab/internal/experiment"
+	"github.com/svrlab/svrlab/internal/platform"
+)
+
+const benchSeed = 42
+
+func run(b *testing.B, id string, o svrlab.Options) svrlab.Result {
+	b.Helper()
+	res, err := svrlab.Run(id, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Render() == "" {
+		b.Fatal("empty artifact")
+	}
+	return res
+}
+
+// BenchmarkTable1Features regenerates the feature matrix.
+func BenchmarkTable1Features(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run(b, "table1", svrlab.Options{})
+	}
+}
+
+// BenchmarkTable2Infrastructure regenerates the protocol/infrastructure
+// table, including multi-vantage anycast inference.
+func BenchmarkTable2Infrastructure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := run(b, "table2", svrlab.Options{Seed: benchSeed}).(*experiment.Table2Result)
+		anycast := 0
+		for _, row := range res.Rows {
+			if row.Control.Anycast {
+				anycast++
+			}
+			if row.Data.Anycast {
+				anycast++
+			}
+		}
+		b.ReportMetric(float64(anycast), "anycast-channels")
+	}
+}
+
+// BenchmarkFig2ChannelTimeline regenerates the welcome-page/social-event
+// channel split for the three platforms the paper plots.
+func BenchmarkFig2ChannelTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range []svrlab.Platform{svrlab.VRChat, svrlab.Hubs, svrlab.AltspaceVR} {
+			res := run(b, "fig2", svrlab.Options{Seed: benchSeed, Platform: p}).(*experiment.Fig2Result)
+			b.ReportMetric(res.EventDataMean()/1000, "event-data-kbps")
+		}
+	}
+}
+
+// BenchmarkTable3Throughput regenerates the two-user throughput table with
+// the mute-join avatar differencing.
+func BenchmarkTable3Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := run(b, "table3", svrlab.Options{Seed: benchSeed, Repeats: 3}).(*experiment.Table3Result)
+		for _, row := range res.Rows {
+			if row.Platform == platform.Worlds {
+				b.ReportMetric(row.UpMean/1000, "worlds-up-kbps")
+			}
+		}
+	}
+}
+
+// BenchmarkFig3ForwardingEvidence regenerates the U1-up/U2-down match for
+// Rec Room and Worlds.
+func BenchmarkFig3ForwardingEvidence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range []svrlab.Platform{svrlab.RecRoom, svrlab.Worlds} {
+			res := run(b, "fig3", svrlab.Options{Seed: benchSeed, Platform: p}).(*experiment.Fig3Result)
+			b.ReportMetric(res.MeanRatio, "down-up-ratio")
+		}
+	}
+}
+
+// BenchmarkFig6JoinScalability regenerates the five join-staircase panels
+// plus the AltspaceVR corner variant.
+func BenchmarkFig6JoinScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range svrlab.Platforms() {
+			run(b, "fig6", svrlab.Options{Seed: benchSeed, Platform: p})
+		}
+		run(b, "fig6b", svrlab.Options{Seed: benchSeed})
+	}
+}
+
+// BenchmarkFig7PublicScalability regenerates the downlink/FPS scaling sweep
+// for all platforms at the paper's user counts.
+func BenchmarkFig7PublicScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range svrlab.Platforms() {
+			res := run(b, "fig7", svrlab.Options{Seed: benchSeed, Platform: p, Repeats: 1}).(*experiment.ScalingResult)
+			slope, _ := res.LinearFitDown()
+			b.ReportMetric(slope/1000, "kbps-per-user")
+		}
+	}
+}
+
+// BenchmarkFig8ResourceScaling reports the CPU growth from the same sweep
+// (Figures 7 and 8 share the workload; this bench isolates the device
+// metrics at a lighter configuration).
+func BenchmarkFig8ResourceScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range svrlab.Platforms() {
+			res := run(b, "fig7", svrlab.Options{Seed: benchSeed, Platform: p, Repeats: 1, Counts: []int{1, 5, 15}}).(*experiment.ScalingResult)
+			if n := len(res.Points); n >= 2 {
+				b.ReportMetric(res.Points[n-1].CPU.Mean-res.Points[0].CPU.Mean, "cpu-growth-pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9LargeScaleHubs regenerates the 15-28 user private-Hubs event.
+func BenchmarkFig9LargeScaleHubs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := run(b, "fig9", svrlab.Options{Seed: benchSeed, Repeats: 1}).(*experiment.ScalingResult)
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.FPS.Mean, "fps-at-28-users")
+	}
+}
+
+// BenchmarkViewportDetection regenerates the §6.1 width estimate.
+func BenchmarkViewportDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := run(b, "viewport", svrlab.Options{Seed: benchSeed}).(*experiment.ViewportResult)
+		b.ReportMetric(res.EstimatedWidthDeg, "viewport-deg")
+	}
+}
+
+// BenchmarkTable4Latency regenerates the latency breakdown table.
+func BenchmarkTable4Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := run(b, "table4", svrlab.Options{Seed: benchSeed, Repeats: 10}).(*experiment.Table4Result)
+		for _, row := range res.Rows {
+			if row.Platform == platform.Hubs && !row.Private {
+				b.ReportMetric(row.E2E.Mean, "hubs-e2e-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkFig11LatencyScalability regenerates the 2-7-user latency curves
+// for the platforms the paper plots.
+func BenchmarkFig11LatencyScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range []svrlab.Platform{svrlab.Hubs, svrlab.Worlds, svrlab.RecRoom} {
+			res := run(b, "fig11", svrlab.Options{Seed: benchSeed, Platform: p, Repeats: 5}).(*experiment.Fig11Result)
+			b.ReportMetric(res.E2E[len(res.E2E)-1].Mean, "e2e-at-7-ms")
+		}
+	}
+}
+
+// BenchmarkFig12DownlinkDisruption regenerates the staged downlink-cap run.
+func BenchmarkFig12DownlinkDisruption(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := run(b, "fig12", svrlab.Options{Seed: benchSeed}).(*experiment.Fig12Result)
+		b.ReportMetric(res.StageMean(&res.CPU, 5), "cpu-at-0.1mbps")
+	}
+}
+
+// BenchmarkFig13TCPUDPInterplay regenerates both Figure 13 panels.
+func BenchmarkFig13TCPUDPInterplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run(b, "fig13", svrlab.Options{Seed: benchSeed})
+		res := run(b, "fig13tcp", svrlab.Options{Seed: benchSeed}).(*experiment.Fig13Result)
+		b.ReportMetric(float64(res.UDPGapSeconds), "udp-gap-seconds")
+	}
+}
+
+// BenchmarkLatencyLossDisruption regenerates the §8.2 tolerance study.
+func BenchmarkLatencyLossDisruption(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := run(b, "disrupt-lat", svrlab.Options{Seed: benchSeed}).(*experiment.DisruptQoEResult)
+		b.ReportMetric(res.Rows[0].DeliveredAt20PctLoss*100, "delivery-at-20pct-loss")
+	}
+}
+
+// BenchmarkRemoteRenderingAblation regenerates the §6.3 comparison.
+func BenchmarkRemoteRenderingAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := run(b, "remote", svrlab.Options{Seed: benchSeed}).(*experiment.RemoteResult)
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.RemoteDownBps/1e6, "remote-mbps")
+	}
+}
+
+// BenchmarkP2PAblation regenerates the §6.2 P2P comparison.
+func BenchmarkP2PAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := run(b, "p2p", svrlab.Options{Seed: benchSeed}).(*experiment.P2PResult)
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.P2PUplinkBps/1000, "p2p-up-kbps")
+	}
+}
+
+// BenchmarkDecimationAblation regenerates the §6.2 update-rate ablation.
+func BenchmarkDecimationAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := run(b, "decimate", svrlab.Options{Seed: benchSeed}).(*experiment.DecimateResult)
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.SavingFraction*100, "saving-pct")
+	}
+}

@@ -1,0 +1,133 @@
+// Command svrlab regenerates the paper's tables and figures from the
+// simulation lab.
+//
+// Usage:
+//
+//	svrlab list                      # enumerate experiments
+//	svrlab run <id> [flags]          # run one experiment
+//	svrlab all [flags]               # run every experiment
+//
+// Flags:
+//
+//	-seed N        random seed (default 42)
+//	-repeats N     repetition count override (0 = experiment default)
+//	-platform P    platform override for single-platform experiments
+//	-users a,b,c   user-count sweep override
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/svrlab/svrlab"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Int64("seed", 42, "random seed")
+	repeats := fs.Int("repeats", 0, "repetition count (0 = default)")
+	platformName := fs.String("platform", "", "platform override")
+	users := fs.String("users", "", "comma-separated user counts")
+	format := fs.String("format", "text", "output format: text or json")
+
+	switch cmd {
+	case "list":
+		for _, info := range svrlab.Experiments() {
+			fmt.Printf("%-12s %-18s %s\n", info.ID, info.Artifact, info.Title)
+		}
+	case "run":
+		if len(os.Args) < 3 {
+			fmt.Fprintln(os.Stderr, "svrlab run <id> [flags]")
+			os.Exit(2)
+		}
+		id := os.Args[2]
+		if err := fs.Parse(os.Args[3:]); err != nil {
+			os.Exit(2)
+		}
+		opts := buildOpts(*seed, *repeats, *platformName, *users)
+		res, err := svrlab.Run(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		emit(res, *format)
+	case "all":
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			os.Exit(2)
+		}
+		opts := buildOpts(*seed, *repeats, *platformName, *users)
+		for _, info := range svrlab.Experiments() {
+			fmt.Printf("==== %s (%s) ====\n", info.ID, info.Artifact)
+			res, err := svrlab.Run(info.ID, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			emit(res, *format)
+			fmt.Println()
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+// emit prints the artifact as human-readable text or machine-readable JSON
+// (the structured result types marshal directly, for downstream plotting).
+func emit(res svrlab.Result, format string) {
+	switch format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Print(res.Render())
+	}
+}
+
+func buildOpts(seed int64, repeats int, platformName, users string) svrlab.Options {
+	opts := svrlab.Options{Seed: seed, Repeats: repeats}
+	if platformName != "" {
+		for _, p := range svrlab.Platforms() {
+			if strings.EqualFold(string(p), platformName) {
+				opts.Platform = p
+			}
+		}
+		if opts.Platform == "" {
+			fmt.Fprintf(os.Stderr, "unknown platform %q; options: %v\n", platformName, svrlab.Platforms())
+			os.Exit(2)
+		}
+	}
+	if users != "" {
+		for _, part := range strings.Split(users, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "bad user count %q\n", part)
+				os.Exit(2)
+			}
+			opts.Counts = append(opts.Counts, n)
+		}
+	}
+	return opts
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `svrlab — social VR measurement lab (IMC'22 reproduction)
+
+usage:
+  svrlab list
+  svrlab run <experiment-id> [-seed N] [-repeats N] [-platform P] [-users a,b,c]
+  svrlab all [flags]`)
+}

@@ -1,0 +1,23 @@
+// Disruption: reproduce the §8 network-disruption experiments on Horizon
+// Worlds — staged downlink caps during a shooting game (Figure 12), and the
+// TCP-priority interplay where delaying only TCP punches holes in the UDP
+// uplink and a TCP blackhole permanently freezes the session (Figure 13).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/svrlab/svrlab"
+)
+
+func main() {
+	for _, id := range []string{"fig12", "fig13", "fig13tcp", "disrupt-lat"} {
+		res, err := svrlab.Run(id, svrlab.Options{Seed: 99})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Render())
+		fmt.Println()
+	}
+}

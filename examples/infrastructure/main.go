@@ -1,0 +1,21 @@
+// Infrastructure: reproduce the §4 platform analysis — discover each
+// platform's control and data servers from captured traffic, classify the
+// protocols from wire bytes, measure RTTs with ICMP/TCP ping (falling back
+// to WebRTC stats for the Hubs SFU), and infer anycast from three
+// geo-distributed vantage points.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/svrlab/svrlab"
+)
+
+func main() {
+	res, err := svrlab.Run("table2", svrlab.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+}

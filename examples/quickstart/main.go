@@ -1,0 +1,27 @@
+// Quickstart: run the Table 3 two-user throughput experiment on every
+// platform and print the paper-style table — the fastest way to see the
+// lab's headline result (Worlds ≫ everyone else; throughput independent of
+// resolution).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/svrlab/svrlab"
+)
+
+func main() {
+	fmt.Println("svrlab quickstart: two users walking and chatting on five platforms")
+	fmt.Println()
+	res, err := svrlab.Run("table3", svrlab.Options{Seed: 42, Repeats: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+	fmt.Println()
+	fmt.Println("Next steps:")
+	fmt.Println("  go run ./cmd/svrlab list            # all experiments")
+	fmt.Println("  go run ./cmd/svrlab run fig7        # scalability sweep")
+	fmt.Println("  go run ./cmd/svrlab run fig13tcp    # the TCP/UDP interplay")
+}

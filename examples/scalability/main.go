@@ -1,0 +1,44 @@
+// Scalability: reproduce the paper's §6 story on one platform — the Figure
+// 6 controlled-join staircase (including AltspaceVR's viewport-adaptive
+// drop when the user turns away), then the Figure 7/8 public-event sweep.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/svrlab/svrlab"
+)
+
+func main() {
+	// Part 1: controlled joins with U1 turning around at 250 s. On
+	// AltspaceVR the downlink collapses after the turn; on VRChat it
+	// does not (no viewport optimization).
+	for _, p := range []svrlab.Platform{svrlab.AltspaceVR, svrlab.VRChat} {
+		res, err := svrlab.Run("fig6", svrlab.Options{Seed: 7, Platform: p})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Render())
+		fmt.Println()
+	}
+
+	// Part 2: the corner-facing variant (Figure 6f) — joiners invisible
+	// for 250 s, then U1 turns toward them.
+	res, err := svrlab.Run("fig6b", svrlab.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+	fmt.Println()
+
+	// Part 3: public-event scaling with confidence intervals (a light
+	// configuration; the fig7 bench runs the full paper sweep).
+	res, err = svrlab.Run("fig7", svrlab.Options{
+		Seed: 7, Platform: svrlab.RecRoom, Repeats: 2, Counts: []int{1, 2, 5, 10, 15},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+}

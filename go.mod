@@ -1,0 +1,3 @@
+module github.com/svrlab/svrlab
+
+go 1.22

@@ -1,0 +1,185 @@
+package avatar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func samplePose() *Pose {
+	p := &Pose{
+		Head:  Joint{Pos: [3]float64{1.25, 1.7, -0.5}, Rot: QuatFromYawDeg(45)},
+		Torso: Joint{Pos: [3]float64{1.25, 1.1, -0.5}, Rot: QuatFromYawDeg(40)},
+		Hands: [2]Joint{
+			{Pos: [3]float64{1.0, 1.3, -0.3}, Rot: QuatFromYawDeg(10)},
+			{Pos: [3]float64{1.5, 1.3, -0.3}, Rot: QuatFromYawDeg(-10)},
+		},
+		Face: make([]uint8, 104),
+	}
+	for i := 0; i < 16; i++ {
+		p.Body = append(p.Body, Joint{Pos: [3]float64{float64(i) * 0.1, 1, 0}, Rot: QuatFromYawDeg(float64(i))})
+	}
+	p.Fingers = [2][5]uint8{{10, 200, 210, 220, 230}, {50, 60, 70, 80, 90}}
+	p.Face[ExprSmile] = 128
+	return p
+}
+
+func TestQuatYawRoundTrip(t *testing.T) {
+	for _, yaw := range []float64{0, 45, 90, -45, 179} {
+		got := QuatFromYawDeg(yaw).YawDeg()
+		if math.Abs(got-yaw) > 1e-9 {
+			t.Fatalf("yaw %v -> %v", yaw, got)
+		}
+	}
+}
+
+func TestCodecRoundTripAllPlatforms(t *testing.T) {
+	codecs := []*Codec{AltspaceVRCodec, HubsCodec, RecRoomCodec, VRChatCodec, WorldsCodec}
+	src := samplePose()
+	for _, c := range codecs {
+		b := c.Encode(src)
+		if len(b) != c.WireLen() {
+			t.Fatalf("%s: encoded %d bytes, WireLen %d", c.Name, len(b), c.WireLen())
+		}
+		got, err := c.Decode(b)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", c.Name, err)
+		}
+		// Head position survives quantization to ~1mm.
+		for i := 0; i < 3; i++ {
+			if math.Abs(got.Head.Pos[i]-src.Head.Pos[i]) > 0.001 {
+				t.Fatalf("%s: head pos %d drifted: %v vs %v", c.Name, i, got.Head.Pos[i], src.Head.Pos[i])
+			}
+		}
+		// Yaw survives to ~0.1°.
+		if math.Abs(got.Head.Rot.YawDeg()-45) > 0.1 {
+			t.Fatalf("%s: head yaw = %v", c.Name, got.Head.Rot.YawDeg())
+		}
+		if c.HasArms {
+			if math.Abs(got.Hands[0].Pos[0]-1.0) > 0.001 {
+				t.Fatalf("%s: hand pos lost", c.Name)
+			}
+		} else if got.Hands[0] != (Joint{}) {
+			t.Fatalf("%s: armless codec decoded hands", c.Name)
+		}
+		if c.FaceCoeffs > 0 {
+			if got.Face[ExprSmile] != 128 {
+				t.Fatalf("%s: face coeff lost", c.Name)
+			}
+		} else if len(got.Face) != 0 {
+			t.Fatalf("%s: faceless codec decoded face", c.Name)
+		}
+		if c.HasFingers && got.Fingers != src.Fingers {
+			t.Fatalf("%s: fingers lost", c.Name)
+		}
+		if c.BodyJoints > 0 && math.Abs(got.Body[3].Pos[0]-0.3) > 0.001 {
+			t.Fatalf("%s: body joint lost", c.Name)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptPayloads(t *testing.T) {
+	b := VRChatCodec.Encode(samplePose())
+	if _, err := VRChatCodec.Decode(b[:len(b)-1]); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	bad := append([]byte(nil), b...)
+	bad[0] = 0
+	if _, err := VRChatCodec.Decode(bad); err == nil {
+		t.Fatal("bad tag accepted")
+	}
+	if _, err := WorldsCodec.Decode(b); err == nil {
+		t.Fatal("cross-codec decode accepted")
+	}
+}
+
+func TestEmbodimentComplexityOrdering(t *testing.T) {
+	// The paper's central throughput observation: Worlds ≫ others, and the
+	// armless/faceless avatars are cheapest (§5.2, Table 3).
+	if !(WorldsCodec.BitrateBps() > 8*VRChatCodec.BitrateBps()) {
+		t.Fatalf("Worlds bitrate %.0f not ≫ VRChat %.0f", WorldsCodec.BitrateBps(), VRChatCodec.BitrateBps())
+	}
+	if AltspaceVRCodec.WireLen() >= VRChatCodec.WireLen() {
+		t.Fatal("armless AltspaceVR avatar should be smaller than VRChat")
+	}
+	if AltspaceVRCodec.WireLen() != HubsCodec.WireLen() {
+		t.Fatal("AltspaceVR and Hubs share the same minimal embodiment")
+	}
+	if RecRoomCodec.FaceCoeffs == 0 {
+		t.Fatal("Rec Room avatar has simple facial expressions")
+	}
+}
+
+func TestGestureToExpressionMapping(t *testing.T) {
+	p := samplePose()
+	p.ApplyGesture(GestureThumbsUp)
+	if p.Face[ExprSmile] != 255 || p.Face[ExprFrown] != 0 {
+		t.Fatal("thumbs-up did not smile")
+	}
+	p.ApplyGesture(GestureThumbsDown)
+	if p.Face[ExprFrown] != 255 || p.Face[ExprSmile] != 0 {
+		t.Fatal("thumbs-down did not frown")
+	}
+	// Faceless avatar: gesture is a no-op, not a panic.
+	q := &Pose{}
+	q.ApplyGesture(GestureThumbsUp)
+}
+
+func TestRecognizeGesture(t *testing.T) {
+	p := samplePose()
+	// Thumb extended, fingers curled, palm up -> thumbs up.
+	p.Fingers[0] = [5]uint8{10, 255, 255, 255, 255}
+	p.Hands[0].Rot = QuatFromYawDeg(30)
+	if g := RecognizeGesture(p); g != GestureThumbsUp {
+		t.Fatalf("gesture = %v, want thumbs-up", g)
+	}
+	p.Hands[0].Rot = QuatFromYawDeg(-30)
+	if g := RecognizeGesture(p); g != GestureThumbsDown {
+		t.Fatalf("gesture = %v, want thumbs-down", g)
+	}
+	p.Fingers[0] = [5]uint8{200, 200, 200, 200, 200}
+	p.Fingers[1] = [5]uint8{100, 100, 100, 100, 100}
+	if g := RecognizeGesture(p); g != GestureNone {
+		t.Fatalf("gesture = %v, want none", g)
+	}
+}
+
+func TestPropertyQuantizationBounded(t *testing.T) {
+	f := func(x, y, z, yaw float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) ||
+			math.IsNaN(z) || math.IsInf(z, 0) || math.IsNaN(yaw) || math.IsInf(yaw, 0) {
+			return true
+		}
+		// Restrict to the representable room size.
+		clip := func(v float64) float64 { return math.Mod(v, 20) }
+		src := &Pose{Head: Joint{Pos: [3]float64{clip(x), clip(y), clip(z)}, Rot: QuatFromYawDeg(math.Mod(yaw, 180))}}
+		b := AltspaceVRCodec.Encode(src)
+		got, err := AltspaceVRCodec.Decode(b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 3; i++ {
+			if math.Abs(got.Head.Pos[i]-src.Head.Pos[i]) > 0.001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringAndBitrate(t *testing.T) {
+	if WorldsCodec.String() == "" {
+		t.Fatal("empty String()")
+	}
+	// Worlds application bitrate should be in the hundreds of kbit/s, the
+	// rest tens of kbit/s or less.
+	if b := WorldsCodec.BitrateBps(); b < 200_000 || b > 400_000 {
+		t.Fatalf("Worlds bitrate = %.0f", b)
+	}
+	if b := AltspaceVRCodec.BitrateBps(); b > 20_000 {
+		t.Fatalf("AltspaceVR bitrate = %.0f", b)
+	}
+}

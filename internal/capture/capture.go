@@ -1,0 +1,254 @@
+// Package capture is the lab's Wireshark: it records timestamped wire bytes
+// at a host's access point (the paper taps the WiFi APs), decodes them into
+// layers on demand, groups them into flows, and produces the per-interval
+// throughput series that Figures 2, 3, 6, 12 and 13 are built from.
+package capture
+
+import (
+	"time"
+
+	"github.com/svrlab/svrlab/internal/netsim"
+	"github.com/svrlab/svrlab/internal/packet"
+	"github.com/svrlab/svrlab/internal/stats"
+)
+
+// Record is one captured packet.
+type Record struct {
+	TS   time.Duration
+	Dir  netsim.Dir
+	Wire []byte
+	// pkt is the lazily-decoded form (gopacket-style lazy decoding).
+	pkt *packet.Packet
+}
+
+// Packet decodes the record (cached). Undecodable records return nil.
+func (r *Record) Packet() *packet.Packet {
+	if r.pkt == nil {
+		p, err := packet.Decode(r.Wire)
+		if err != nil {
+			return nil
+		}
+		r.pkt = p
+	}
+	return r.pkt
+}
+
+// Sniffer captures traffic at one host's access point.
+type Sniffer struct {
+	Records []Record
+	active  bool
+}
+
+// Attach taps a host and starts capturing immediately.
+func Attach(h *netsim.Host) *Sniffer {
+	s := &Sniffer{active: true}
+	h.Tap(func(at time.Duration, dir netsim.Dir, wire []byte) {
+		if !s.active {
+			return
+		}
+		s.Records = append(s.Records, Record{TS: at, Dir: dir, Wire: append([]byte(nil), wire...)})
+	})
+	return s
+}
+
+// Pause stops recording (the tap stays installed).
+func (s *Sniffer) Pause() { s.active = false }
+
+// Resume restarts recording.
+func (s *Sniffer) Resume() { s.active = true }
+
+// Clear discards captured records.
+func (s *Sniffer) Clear() { s.Records = s.Records[:0] }
+
+// Match selects packets for analysis. Either field may be zero-valued to
+// match everything in that dimension.
+type Match struct {
+	// Dir restricts direction when DirSet is true.
+	Dir    netsim.Dir
+	DirSet bool
+	// Filter, when non-nil, must accept the decoded packet.
+	Filter func(*packet.Packet) bool
+}
+
+// MatchUp matches host→network packets satisfying f (nil f = all).
+func MatchUp(f func(*packet.Packet) bool) Match {
+	return Match{Dir: netsim.DirUp, DirSet: true, Filter: f}
+}
+
+// MatchDown matches network→host packets satisfying f (nil f = all).
+func MatchDown(f func(*packet.Packet) bool) Match {
+	return Match{Dir: netsim.DirDown, DirSet: true, Filter: f}
+}
+
+// FilterRemote matches packets whose far end (destination when uplink,
+// source when downlink) is one of the given addresses — how the paper
+// separates per-server channels once it has identified server IPs.
+func FilterRemote(addrs ...packet.Addr) func(*packet.Packet) bool {
+	set := make(map[packet.Addr]bool, len(addrs))
+	for _, a := range addrs {
+		set[a] = true
+	}
+	return func(p *packet.Packet) bool {
+		return set[p.IP.Src] || set[p.IP.Dst]
+	}
+}
+
+// FilterProto matches one transport protocol.
+func FilterProto(proto packet.Proto) func(*packet.Packet) bool {
+	return func(p *packet.Packet) bool { return p.IP.Protocol == proto }
+}
+
+// FilterAnd combines filters conjunctively.
+func FilterAnd(fs ...func(*packet.Packet) bool) func(*packet.Packet) bool {
+	return func(p *packet.Packet) bool {
+		for _, f := range fs {
+			if f != nil && !f(p) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func (m Match) accepts(r *Record) bool {
+	if m.DirSet && r.Dir != m.Dir {
+		return false
+	}
+	if m.Filter != nil {
+		p := r.Packet()
+		if p == nil || !m.Filter(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes sums wire bytes of matching records in [from, to).
+func (s *Sniffer) Bytes(m Match, from, to time.Duration) int {
+	total := 0
+	for i := range s.Records {
+		r := &s.Records[i]
+		if r.TS < from || r.TS >= to {
+			continue
+		}
+		if m.accepts(r) {
+			total += len(r.Wire)
+		}
+	}
+	return total
+}
+
+// Packets counts matching records in [from, to).
+func (s *Sniffer) Packets(m Match, from, to time.Duration) int {
+	n := 0
+	for i := range s.Records {
+		r := &s.Records[i]
+		if r.TS >= from && r.TS < to && m.accepts(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// Series buckets matching traffic into a bits-per-second time series over
+// [from, to) with the given bucket width.
+func (s *Sniffer) Series(m Match, from, to, bucket time.Duration) stats.TimeSeries {
+	if bucket <= 0 || to <= from {
+		return stats.TimeSeries{}
+	}
+	n := int((to - from + bucket - 1) / bucket)
+	vals := make([]float64, n)
+	for i := range s.Records {
+		r := &s.Records[i]
+		if r.TS < from || r.TS >= to || !m.accepts(r) {
+			continue
+		}
+		idx := int((r.TS - from) / bucket)
+		if idx >= 0 && idx < n {
+			vals[idx] += float64(len(r.Wire) * 8)
+		}
+	}
+	scale := bucket.Seconds()
+	for i := range vals {
+		vals[i] /= scale
+	}
+	return stats.TimeSeries{Start: from, Step: bucket, Values: vals}
+}
+
+// MeanBps averages matching throughput over [from, to) in bits/second.
+func (s *Sniffer) MeanBps(m Match, from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	return float64(s.Bytes(m, from, to)*8) / (to - from).Seconds()
+}
+
+// FlowStat accumulates per-flow counters.
+type FlowStat struct {
+	Flow           packet.Flow
+	Packets        int
+	Bytes          int
+	First, Last    time.Duration
+	UpPkts, DnPkts int
+}
+
+// Flows groups matching records by symmetric flow hash, merging the two
+// directions of each conversation (gopacket's symmetric FastHash pattern).
+func (s *Sniffer) Flows(m Match) []*FlowStat {
+	byHash := make(map[uint64]*FlowStat)
+	var order []uint64
+	for i := range s.Records {
+		r := &s.Records[i]
+		if !m.accepts(r) {
+			continue
+		}
+		p := r.Packet()
+		if p == nil {
+			continue
+		}
+		fl := packet.FlowOf(p)
+		h := fl.FastHash()
+		st, ok := byHash[h]
+		if !ok {
+			st = &FlowStat{Flow: fl, First: r.TS}
+			byHash[h] = st
+			order = append(order, h)
+		}
+		st.Packets++
+		st.Bytes += len(r.Wire)
+		st.Last = r.TS
+		if r.Dir == netsim.DirUp {
+			st.UpPkts++
+		} else {
+			st.DnPkts++
+		}
+	}
+	out := make([]*FlowStat, 0, len(order))
+	for _, h := range order {
+		out = append(out, byHash[h])
+	}
+	return out
+}
+
+// RemoteEndpoints lists the distinct far-end addresses seen, in first-seen
+// order — the server-discovery step of §4.
+func (s *Sniffer) RemoteEndpoints(local packet.Addr) []packet.Addr {
+	seen := make(map[packet.Addr]bool)
+	var out []packet.Addr
+	for i := range s.Records {
+		p := s.Records[i].Packet()
+		if p == nil {
+			continue
+		}
+		remote := p.IP.Dst
+		if s.Records[i].Dir == netsim.DirDown {
+			remote = p.IP.Src
+		}
+		if remote == local || seen[remote] {
+			continue
+		}
+		seen[remote] = true
+		out = append(out, remote)
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package capture
+
+import (
+	"testing"
+	"time"
+
+	"github.com/svrlab/svrlab/internal/geo"
+	"github.com/svrlab/svrlab/internal/netsim"
+	"github.com/svrlab/svrlab/internal/packet"
+	"github.com/svrlab/svrlab/internal/simtime"
+)
+
+type rig struct {
+	s     *simtime.Scheduler
+	net   *netsim.Network
+	a, b  *netsim.Host
+	sniff *Sniffer
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	s := simtime.NewScheduler()
+	n := netsim.New(s, 5)
+	site := n.AddSite("east", geo.Fairfax, packet.MustParseAddr("10.0.0.1"))
+	a := n.AddHost("a", site, packet.MustParseAddr("10.0.0.2"), netsim.WiFiAccess())
+	b := n.AddHost("b", site, packet.MustParseAddr("10.0.0.3"), netsim.DatacenterAccess())
+	b.Handler = func(p *packet.Packet) {}
+	a.Handler = func(p *packet.Packet) {}
+	return &rig{s: s, net: n, a: a, b: b, sniff: Attach(a)}
+}
+
+func (r *rig) sendUDP(at time.Duration, payload int) {
+	r.s.At(at, func() {
+		r.net.Send(r.a, &packet.Packet{
+			IP:      packet.IPv4{Protocol: packet.ProtoUDP, Dst: r.b.Addr},
+			UDP:     &packet.UDP{SrcPort: 1000, DstPort: 2000},
+			Payload: make([]byte, payload),
+		})
+	})
+}
+
+func (r *rig) sendTCPDown(at time.Duration, payload int) {
+	r.s.At(at, func() {
+		r.net.Send(r.b, &packet.Packet{
+			IP:      packet.IPv4{Protocol: packet.ProtoTCP, Dst: r.a.Addr},
+			TCP:     &packet.TCP{SrcPort: 443, DstPort: 3000, Flags: packet.FlagACK},
+			Payload: make([]byte, payload),
+		})
+	})
+}
+
+func TestCaptureRecordsBothDirections(t *testing.T) {
+	r := newRig(t)
+	r.sendUDP(time.Second, 100)
+	r.sendTCPDown(2*time.Second, 200)
+	r.s.Run()
+	if len(r.sniff.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(r.sniff.Records))
+	}
+	if r.sniff.Records[0].Dir != netsim.DirUp || r.sniff.Records[1].Dir != netsim.DirDown {
+		t.Fatal("directions wrong")
+	}
+	p := r.sniff.Records[0].Packet()
+	if p == nil || p.UDP == nil {
+		t.Fatal("decode failed")
+	}
+	// Cached decode returns the same pointer.
+	if p != r.sniff.Records[0].Packet() {
+		t.Fatal("decode not cached")
+	}
+}
+
+func TestPauseResumeClear(t *testing.T) {
+	r := newRig(t)
+	r.sendUDP(time.Second, 10)
+	r.s.RunUntil(90 * time.Second)
+	r.sniff.Pause()
+	r.sendUDP(100*time.Second, 10)
+	r.s.RunUntil(190 * time.Second)
+	r.sniff.Resume()
+	r.sendUDP(200*time.Second, 10)
+	r.s.Run()
+	if len(r.sniff.Records) != 2 {
+		t.Fatalf("records = %d, want 2 (paused period excluded)", len(r.sniff.Records))
+	}
+	r.sniff.Clear()
+	if len(r.sniff.Records) != 0 {
+		t.Fatal("Clear left records")
+	}
+}
+
+func TestBytesAndPacketsWithMatch(t *testing.T) {
+	r := newRig(t)
+	r.sendUDP(time.Second, 72)       // wire = 100 bytes
+	r.sendUDP(2*time.Second, 172)    // wire = 200 bytes
+	r.sendTCPDown(3*time.Second, 60) // wire = 100 bytes down
+	r.s.Run()
+
+	up := MatchUp(nil)
+	down := MatchDown(nil)
+	if got := r.sniff.Bytes(up, 0, time.Hour); got != 300 {
+		t.Fatalf("up bytes = %d, want 300", got)
+	}
+	if got := r.sniff.Bytes(down, 0, time.Hour); got != 100 {
+		t.Fatalf("down bytes = %d, want 100", got)
+	}
+	if got := r.sniff.Packets(Match{}, 0, time.Hour); got != 3 {
+		t.Fatalf("all packets = %d", got)
+	}
+	// Protocol filter.
+	tcpOnly := Match{Filter: FilterProto(packet.ProtoTCP)}
+	if got := r.sniff.Packets(tcpOnly, 0, time.Hour); got != 1 {
+		t.Fatalf("tcp packets = %d", got)
+	}
+	// Time-window restriction.
+	if got := r.sniff.Bytes(up, 0, 1500*time.Millisecond); got != 100 {
+		t.Fatalf("windowed bytes = %d, want 100", got)
+	}
+}
+
+func TestSeriesBucketsThroughput(t *testing.T) {
+	r := newRig(t)
+	// 10 packets of 100 wire bytes in second 0, none in second 1, 5 in second 2.
+	for i := 0; i < 10; i++ {
+		r.sendUDP(time.Duration(i)*50*time.Millisecond, 72)
+	}
+	for i := 0; i < 5; i++ {
+		r.sendUDP(2*time.Second+time.Duration(i)*50*time.Millisecond, 72)
+	}
+	r.s.Run()
+	ts := r.sniff.Series(MatchUp(nil), 0, 3*time.Second, time.Second)
+	if len(ts.Values) != 3 {
+		t.Fatalf("buckets = %d", len(ts.Values))
+	}
+	if ts.Values[0] != 8000 { // 10 * 100 B * 8 bits / 1 s
+		t.Fatalf("bucket0 = %v, want 8000 bps", ts.Values[0])
+	}
+	if ts.Values[1] != 0 {
+		t.Fatalf("bucket1 = %v, want 0", ts.Values[1])
+	}
+	if ts.Values[2] != 4000 {
+		t.Fatalf("bucket2 = %v, want 4000", ts.Values[2])
+	}
+	if got := r.sniff.MeanBps(MatchUp(nil), 0, 3*time.Second); got != 4000 {
+		t.Fatalf("MeanBps = %v, want 4000", got)
+	}
+}
+
+func TestSeriesDegenerateInputs(t *testing.T) {
+	r := newRig(t)
+	if ts := r.sniff.Series(Match{}, 0, time.Second, 0); len(ts.Values) != 0 {
+		t.Fatal("zero bucket should be empty")
+	}
+	if ts := r.sniff.Series(Match{}, time.Second, time.Second, time.Second); len(ts.Values) != 0 {
+		t.Fatal("empty window should be empty")
+	}
+}
+
+func TestFlowsMergeDirections(t *testing.T) {
+	r := newRig(t)
+	// Uplink UDP 1000->2000 and its reverse direction downlink.
+	r.sendUDP(time.Second, 10)
+	r.s.At(2*time.Second, func() {
+		r.net.Send(r.b, &packet.Packet{
+			IP:      packet.IPv4{Protocol: packet.ProtoUDP, Dst: r.a.Addr},
+			UDP:     &packet.UDP{SrcPort: 2000, DstPort: 1000},
+			Payload: make([]byte, 20),
+		})
+	})
+	r.sendTCPDown(3*time.Second, 30)
+	r.s.Run()
+	flows := r.sniff.Flows(Match{})
+	if len(flows) != 2 {
+		t.Fatalf("flows = %d, want 2 (UDP conversation merged)", len(flows))
+	}
+	udpFlow := flows[0]
+	if udpFlow.Packets != 2 || udpFlow.UpPkts != 1 || udpFlow.DnPkts != 1 {
+		t.Fatalf("udp flow = %+v", udpFlow)
+	}
+	if udpFlow.First >= udpFlow.Last {
+		t.Fatal("flow timestamps not ordered")
+	}
+}
+
+func TestFilterRemoteAndAnd(t *testing.T) {
+	r := newRig(t)
+	r.sendUDP(time.Second, 10)
+	r.sendTCPDown(2*time.Second, 10)
+	r.s.Run()
+	m := Match{Filter: FilterAnd(FilterRemote(r.b.Addr), FilterProto(packet.ProtoUDP))}
+	if got := r.sniff.Packets(m, 0, time.Hour); got != 1 {
+		t.Fatalf("combined filter matched %d", got)
+	}
+	none := Match{Filter: FilterRemote(packet.MustParseAddr("9.9.9.9"))}
+	if got := r.sniff.Packets(none, 0, time.Hour); got != 0 {
+		t.Fatalf("bogus remote matched %d", got)
+	}
+}
+
+func TestRemoteEndpointsDiscovery(t *testing.T) {
+	r := newRig(t)
+	r.sendUDP(time.Second, 10)
+	r.sendTCPDown(2*time.Second, 10)
+	r.s.Run()
+	remotes := r.sniff.RemoteEndpoints(r.a.Addr)
+	if len(remotes) != 1 || remotes[0] != r.b.Addr {
+		t.Fatalf("remotes = %v", remotes)
+	}
+}

@@ -1,0 +1,182 @@
+// Package disrupt drives tc-netem-style impairment schedules against a
+// host, reproducing the §8 methodology: each restricted condition lasts 40
+// seconds, followed by 60 seconds of recovery ("N" in Figures 12-13).
+package disrupt
+
+import (
+	"time"
+
+	"github.com/svrlab/svrlab/internal/netsim"
+	"github.com/svrlab/svrlab/internal/packet"
+	"github.com/svrlab/svrlab/internal/simtime"
+)
+
+// Direction selects which side of the host's access link is impaired.
+type Direction int
+
+const (
+	Uplink Direction = iota
+	Downlink
+)
+
+func (d Direction) String() string {
+	if d == Uplink {
+		return "uplink"
+	}
+	return "downlink"
+}
+
+// Stage is one impairment period.
+type Stage struct {
+	// Label appears in reports ("1.0", "0.5", "5s", "100%", "N").
+	Label string
+	// The impairment; a zero Netem (no rate, delay, or loss) means an
+	// unimpaired recovery stage.
+	RateBps float64
+	Delay   time.Duration
+	Loss    float64
+	// Filter restricts the impairment to matching packets (e.g. TCP only).
+	Filter func(*packet.Packet) bool
+	// Duration of the stage.
+	Duration time.Duration
+}
+
+// IsClear reports whether the stage imposes no impairment.
+func (s Stage) IsClear() bool { return s.RateBps == 0 && s.Delay == 0 && s.Loss == 0 }
+
+// Schedule applies stages back to back.
+type Schedule struct {
+	Host   *netsim.Host
+	Dir    Direction
+	Stages []Stage
+
+	// Applied records (start, stage) pairs as they take effect.
+	Applied []AppliedStage
+}
+
+// AppliedStage logs when a stage took effect.
+type AppliedStage struct {
+	At    time.Duration
+	Stage Stage
+}
+
+// Run installs the schedule on the scheduler starting at the given time.
+// The host's netem for the chosen direction is replaced at each stage
+// boundary and cleared after the last stage.
+func (sc *Schedule) Run(sched *simtime.Scheduler, start time.Duration) (end time.Duration) {
+	at := start
+	for _, st := range sc.Stages {
+		st := st
+		t := at
+		sched.At(t, func() {
+			sc.Applied = append(sc.Applied, AppliedStage{At: sched.Now(), Stage: st})
+			sc.apply(st)
+		})
+		at += st.Duration
+	}
+	sched.At(at, func() { sc.clear() })
+	return at
+}
+
+func (sc *Schedule) apply(st Stage) {
+	var ne *netsim.Netem
+	if !st.IsClear() {
+		ne = &netsim.Netem{RateBps: st.RateBps, Delay: st.Delay, Loss: st.Loss, Filter: st.Filter}
+	}
+	if sc.Dir == Uplink {
+		sc.Host.UpNetem = ne
+	} else {
+		sc.Host.DownNetem = ne
+	}
+}
+
+func (sc *Schedule) clear() { sc.apply(Stage{}) }
+
+// The paper's §8 parameter sweeps.
+
+// DownlinkBandwidthStages: 1, 0.7, 0.5, 0.3, 0.2, 0.1 Mbps, each 40 s with
+// a 60 s recovery after each stage would exceed the paper's 300 s figure;
+// the paper applies consecutive 40 s stages then recovery ("N").
+func DownlinkBandwidthStages() []Stage {
+	mbps := []float64{1.0, 0.7, 0.5, 0.3, 0.2, 0.1}
+	return rateStages(mbps)
+}
+
+// UplinkBandwidthStages: 1.5, 1.2, 1, 0.7, 0.5, 0.3 Mbps.
+func UplinkBandwidthStages() []Stage {
+	return rateStages([]float64{1.5, 1.2, 1.0, 0.7, 0.5, 0.3})
+}
+
+func rateStages(mbps []float64) []Stage {
+	var out []Stage
+	for _, m := range mbps {
+		out = append(out, Stage{Label: formatMbps(m), RateBps: m * 1e6, Duration: 40 * time.Second})
+	}
+	out = append(out, Stage{Label: "N", Duration: 60 * time.Second})
+	return out
+}
+
+// LatencyStages: 50-500 ms added delay.
+func LatencyStages() []Stage {
+	var out []Stage
+	for _, ms := range []int{50, 100, 200, 300, 400, 500} {
+		out = append(out, Stage{Label: itoa(ms) + "ms", Delay: time.Duration(ms) * time.Millisecond, Duration: 40 * time.Second})
+	}
+	out = append(out, Stage{Label: "N", Duration: 60 * time.Second})
+	return out
+}
+
+// LossStages: 1-20% random loss.
+func LossStages() []Stage {
+	var out []Stage
+	for _, pct := range []int{1, 3, 5, 7, 10, 20} {
+		out = append(out, Stage{Label: itoa(pct) + "%", Loss: float64(pct) / 100, Duration: 40 * time.Second})
+	}
+	out = append(out, Stage{Label: "N", Duration: 60 * time.Second})
+	return out
+}
+
+// TCPDelayStages reproduces Figure 13 (bottom): TCP-only uplink delays of
+// 5, 10, 15 s, then 100% TCP loss, then clear.
+func TCPDelayStages() []Stage {
+	var out []Stage
+	for _, s := range []int{5, 10, 15} {
+		out = append(out, Stage{
+			Label: itoa(s) + "s", Delay: time.Duration(s) * time.Second,
+			Filter: netsim.FilterTCP, Duration: 60 * time.Second,
+		})
+	}
+	out = append(out, Stage{Label: "100%", Loss: 1.0, Filter: netsim.FilterTCP, Duration: 60 * time.Second})
+	out = append(out, Stage{Label: "N", Duration: 60 * time.Second})
+	return out
+}
+
+func formatMbps(m float64) string {
+	switch {
+	case m == float64(int(m)):
+		return itoa(int(m)) + ".0"
+	default:
+		whole := int(m)
+		frac := int(m*10+0.5) % 10
+		return itoa(whole) + "." + itoa(frac)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}

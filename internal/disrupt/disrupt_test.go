@@ -1,0 +1,96 @@
+package disrupt
+
+import (
+	"testing"
+	"time"
+
+	"github.com/svrlab/svrlab/internal/geo"
+	"github.com/svrlab/svrlab/internal/netsim"
+	"github.com/svrlab/svrlab/internal/packet"
+	"github.com/svrlab/svrlab/internal/simtime"
+)
+
+func TestStageSweepsMatchPaperParameters(t *testing.T) {
+	dl := DownlinkBandwidthStages()
+	if len(dl) != 7 || dl[0].Label != "1.0" || dl[5].Label != "0.1" || dl[6].Label != "N" {
+		t.Fatalf("downlink stages = %+v", dl)
+	}
+	ul := UplinkBandwidthStages()
+	if ul[0].RateBps != 1.5e6 || ul[5].RateBps != 0.3e6 {
+		t.Fatalf("uplink stages = %+v", ul)
+	}
+	lat := LatencyStages()
+	if lat[0].Delay != 50*time.Millisecond || lat[5].Delay != 500*time.Millisecond {
+		t.Fatalf("latency stages = %+v", lat)
+	}
+	loss := LossStages()
+	if loss[0].Loss != 0.01 || loss[5].Loss != 0.20 {
+		t.Fatalf("loss stages = %+v", loss)
+	}
+	tcp := TCPDelayStages()
+	if tcp[0].Delay != 5*time.Second || tcp[3].Loss != 1.0 || tcp[3].Filter == nil {
+		t.Fatalf("tcp stages = %+v", tcp)
+	}
+	for _, st := range dl[:6] {
+		if st.Duration != 40*time.Second {
+			t.Fatalf("stage duration = %v, want 40s", st.Duration)
+		}
+	}
+	if !dl[6].IsClear() {
+		t.Fatal("final stage should be clear")
+	}
+}
+
+func TestScheduleAppliesAndClears(t *testing.T) {
+	sched := simtime.NewScheduler()
+	n := netsim.New(sched, 1)
+	site := n.AddSite("x", geo.Fairfax, packet.MustParseAddr("10.0.0.1"))
+	h := n.AddHost("h", site, packet.MustParseAddr("10.0.0.2"), netsim.WiFiAccess())
+
+	sc := &Schedule{Host: h, Dir: Downlink, Stages: []Stage{
+		{Label: "0.5", RateBps: 0.5e6, Duration: 40 * time.Second},
+		{Label: "N", Duration: 60 * time.Second},
+	}}
+	end := sc.Run(sched, 10*time.Second)
+	if end != 110*time.Second {
+		t.Fatalf("end = %v", end)
+	}
+	sched.RunUntil(5 * time.Second)
+	if h.DownNetem != nil {
+		t.Fatal("netem applied early")
+	}
+	sched.RunUntil(15 * time.Second)
+	if h.DownNetem == nil || h.DownNetem.RateBps != 0.5e6 {
+		t.Fatalf("stage not applied: %+v", h.DownNetem)
+	}
+	sched.RunUntil(60 * time.Second)
+	if h.DownNetem != nil {
+		t.Fatal("clear stage should remove netem")
+	}
+	sched.RunUntil(120 * time.Second)
+	if h.DownNetem != nil {
+		t.Fatal("netem not cleared at end")
+	}
+	if len(sc.Applied) != 2 || sc.Applied[0].At != 10*time.Second {
+		t.Fatalf("applied log = %+v", sc.Applied)
+	}
+}
+
+func TestUplinkDirection(t *testing.T) {
+	sched := simtime.NewScheduler()
+	n := netsim.New(sched, 1)
+	site := n.AddSite("x", geo.Fairfax, packet.MustParseAddr("10.0.0.1"))
+	h := n.AddHost("h", site, packet.MustParseAddr("10.0.0.2"), netsim.WiFiAccess())
+	sc := &Schedule{Host: h, Dir: Uplink, Stages: []Stage{{Label: "x", Loss: 0.5, Duration: time.Second}}}
+	sc.Run(sched, 0)
+	sched.RunUntil(500 * time.Millisecond)
+	if h.UpNetem == nil || h.UpNetem.Loss != 0.5 {
+		t.Fatal("uplink netem not applied")
+	}
+	if h.DownNetem != nil {
+		t.Fatal("downlink touched by uplink schedule")
+	}
+	if Uplink.String() != "uplink" || Downlink.String() != "downlink" {
+		t.Fatal("direction strings")
+	}
+}

@@ -1,0 +1,189 @@
+// Package experiment contains one scenario builder per table and figure in
+// the paper's evaluation, plus the ablation studies DESIGN.md calls out.
+// Every experiment builds a fresh deployment, drives platform clients over
+// the fabric, measures through captures/probes/device samplers — never by
+// reading profile constants back — and renders a text artifact shaped like
+// the paper's.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/svrlab/svrlab/internal/netsim"
+	"github.com/svrlab/svrlab/internal/packet"
+	"github.com/svrlab/svrlab/internal/platform"
+	"github.com/svrlab/svrlab/internal/simtime"
+	"github.com/svrlab/svrlab/internal/world"
+)
+
+// Lab is one fresh simulation universe.
+type Lab struct {
+	Sched *simtime.Scheduler
+	Dep   *platform.Deployment
+	Seed  int64
+
+	probeOctets map[string]int
+}
+
+// probeHost allocates a measurement host at a site with a unique address.
+func (l *Lab) probeHost(site string) *netsim.Host {
+	if l.probeOctets == nil {
+		l.probeOctets = make(map[string]int)
+	}
+	l.probeOctets[site]++
+	octet := 99 + l.probeOctets[site]
+	if octet > 250 {
+		panic("experiment: probe host addresses exhausted at " + site)
+	}
+	return l.Dep.AddVantage(fmt.Sprintf("probe-%s-%d", site, octet), site, octet)
+}
+
+// NewLab builds a deployment with the given seed.
+func NewLab(seed int64) *Lab {
+	s := simtime.NewScheduler()
+	return &Lab{Sched: s, Dep: platform.NewDeployment(s, seed), Seed: seed}
+}
+
+// SpawnOpts controls client creation.
+type SpawnOpts struct {
+	Site     string        // default: campus
+	Voice    bool          // default false: users join mutely, as the paper does
+	Wander   bool          // walk around
+	Room     string        // default "event-1"
+	LaunchAt time.Duration // default 0
+	JoinAt   time.Duration // default 1s
+	// JoinStagger delays each subsequent user's join (Figure 6's 50 s).
+	JoinStagger time.Duration
+}
+
+// Spawn creates n clients of a platform and schedules launch/join.
+func (l *Lab) Spawn(name platform.Name, n int, o SpawnOpts) []*platform.Client {
+	if o.Site == "" {
+		o.Site = platform.SiteCampus
+	}
+	if o.Room == "" {
+		o.Room = "event-1"
+	}
+	if o.JoinAt == 0 {
+		o.JoinAt = time.Second
+	}
+	out := make([]*platform.Client, n)
+	for i := 0; i < n; i++ {
+		c := platform.NewClient(l.Dep, name, fmt.Sprintf("u%d", i+1), o.Site, 10+i)
+		c.Muted = !o.Voice
+		c.Wander = o.Wander
+		out[i] = c
+		l.Sched.At(o.LaunchAt, c.Launch)
+		join := o.JoinAt + time.Duration(i)*o.JoinStagger
+		l.Sched.At(join, func() { c.JoinEvent(o.Room) })
+	}
+	return out
+}
+
+// notAsset filters out CDN download traffic (the paper omits it, §5.2).
+func (l *Lab) notAsset(p *platform.Profile) func(*packet.Packet) bool {
+	asset := l.Dep.AssetEndpoint(p).Addr
+	return func(pk *packet.Packet) bool {
+		return pk.IP.Src != asset && pk.IP.Dst != asset
+	}
+}
+
+// dataOnly matches the data channel: UDP traffic, plus (for web platforms)
+// the HTTPS connection itself — the paper's Hubs data channel spans both.
+func (l *Lab) dataOnly(p *platform.Profile, ctrlAddr packet.Addr) func(*packet.Packet) bool {
+	na := l.notAsset(p)
+	return func(pk *packet.Packet) bool {
+		if !na(pk) {
+			return false
+		}
+		if pk.IP.Protocol == packet.ProtoUDP {
+			return true
+		}
+		if p.WebData {
+			return pk.IP.Src == ctrlAddr || pk.IP.Dst == ctrlAddr
+		}
+		return false
+	}
+}
+
+// Text-rendering helpers shared by all artifacts.
+
+// Table renders rows with aligned columns.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for pad := widths[i] - len([]rune(c)); pad > 0; pad-- {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// kbps formats bits/s as "X.X" kbit/s.
+func kbps(bps float64) string { return fmt.Sprintf("%.1f", bps/1000) }
+
+// mbps formats bits/s as Mbit/s.
+func mbps(bps float64) string { return fmt.Sprintf("%.2f", bps/1e6) }
+
+// ms formats a duration in milliseconds with one decimal.
+func ms(d time.Duration) string { return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond)) }
+
+// msf formats a float of milliseconds.
+func msf(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// arrangeCircle places clients around the room center so everyone sees
+// everyone (public-event style).
+func arrangeCircle(cs []*platform.Client) {
+	center := world.Vec2{X: 10, Y: 10}
+	n := len(cs)
+	for i, c := range cs {
+		ang := float64(i) / float64(n) * 360
+		pos := center.Add(world.Vec2{X: 3 * cosDeg(ang), Y: 3 * sinDeg(ang)})
+		yaw := world.NormalizeDeg(ang + 180) // face the center
+		c.StandAt(pos, yaw)
+	}
+}
+
+func cosDeg(d float64) float64 { return math.Cos(d * math.Pi / 180) }
+func sinDeg(d float64) float64 { return math.Sin(d * math.Pi / 180) }

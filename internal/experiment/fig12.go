@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/svrlab/svrlab/internal/capture"
+	"github.com/svrlab/svrlab/internal/disrupt"
+	"github.com/svrlab/svrlab/internal/packet"
+	"github.com/svrlab/svrlab/internal/platform"
+	"github.com/svrlab/svrlab/internal/plot"
+	"github.com/svrlab/svrlab/internal/stats"
+)
+
+// Fig12Result is the Worlds downlink-disruption artifact (paper Figure 12):
+// staged downlink caps during the Arena Clash game, with throughput, device
+// utilization, and frame-rate series.
+type Fig12Result struct {
+	Platform   platform.Name
+	Stages     []disrupt.AppliedStage
+	Up, Down   stats.TimeSeries
+	CPU, GPU   stats.TimeSeries
+	FPS, Stale stats.TimeSeries
+	Total      time.Duration
+}
+
+// Fig12 reproduces the §8.1 downlink experiment on Worlds: two users in a
+// shooting game, U1's downlink capped at 1/0.7/0.5/0.3/0.2/0.1 Mbps for
+// 40 s each, then released.
+func Fig12(seed int64) *Fig12Result {
+	l := NewLab(seed)
+	name := platform.Worlds
+	cs := l.Spawn(name, 2, SpawnOpts{})
+	l.Sched.At(5*time.Second, func() {
+		arrangeCircle(cs)
+		cs[0].SetGame(true)
+		cs[1].SetGame(true)
+	})
+	sniff := capture.Attach(cs[0].Host)
+
+	sc := &disrupt.Schedule{Host: cs[0].Host, Dir: disrupt.Downlink, Stages: disrupt.DownlinkBandwidthStages()}
+	end := sc.Run(l.Sched, 20*time.Second)
+	l.Sched.RunUntil(end + 10*time.Second)
+
+	total := end + 10*time.Second
+	udp := capture.FilterProto(packet.ProtoUDP)
+	res := &Fig12Result{
+		Platform: name,
+		Stages:   sc.Applied,
+		Up:       sniff.Series(capture.MatchUp(udp), 0, total, time.Second),
+		Down:     sniff.Series(capture.MatchDown(udp), 0, total, time.Second),
+		Total:    total,
+	}
+	// Device series from the monitor samples.
+	res.CPU, res.GPU, res.FPS, res.Stale = monitorSeries(cs[0], total)
+	return res
+}
+
+// monitorSeries converts monitor samples into aligned time series.
+func monitorSeries(c *platform.Client, total time.Duration) (cpu, gpu, fps, stale stats.TimeSeries) {
+	n := int(total / time.Second)
+	mk := func() stats.TimeSeries {
+		return stats.TimeSeries{Start: 0, Step: time.Second, Values: make([]float64, n)}
+	}
+	cpu, gpu, fps, stale = mk(), mk(), mk(), mk()
+	for _, s := range c.Monitor.Samples {
+		i := int(s.T / time.Second)
+		if i < 0 || i >= n {
+			continue
+		}
+		cpu.Values[i] = s.CPUPct
+		gpu.Values[i] = s.GPUPct
+		fps.Values[i] = s.FPS
+		stale.Values[i] = s.StalePerS
+	}
+	return
+}
+
+// StageWindow returns the [from,to) window of the i-th applied stage.
+func (r *Fig12Result) StageWindow(i int) (time.Duration, time.Duration) {
+	from := r.Stages[i].At
+	to := r.Total
+	if i+1 < len(r.Stages) {
+		to = r.Stages[i+1].At
+	}
+	return from, to
+}
+
+// StageMean summarizes a series within a stage (skipping 5 s of settling).
+func (r *Fig12Result) StageMean(ts *stats.TimeSeries, i int) float64 {
+	from, to := r.StageWindow(i)
+	return ts.MeanInWindow(from+5*time.Second, to)
+}
+
+// Render prints the Figure 12 artifact: throughput chart plus stage table.
+func (r *Fig12Result) Render() string {
+	var b strings.Builder
+	var markers []plot.Marker
+	for _, st := range r.Stages {
+		markers = append(markers, plot.Marker{At: st.At, Label: st.Stage.Label})
+	}
+	chart := &plot.Chart{
+		Title:  fmt.Sprintf("Figure 12 (%s, Arena Clash): downlink disruption", r.Platform),
+		YUnit:  "Mbps",
+		YScale: 1e6,
+		Series: []plot.Series{
+			{Label: "uplink", Symbol: 'u', Data: r.Up},
+			{Label: "downlink", Symbol: 'D', Data: r.Down},
+		},
+		Markers: markers,
+	}
+	b.WriteString(chart.Render())
+	t := &Table{Header: []string{"Stage", "Down (Mbps)", "Up (Mbps)", "CPU %", "GPU %", "FPS", "Stale/s"}}
+	for i, st := range r.Stages {
+		t.Add(st.Stage.Label,
+			mbps(r.StageMean(&r.Down, i)), mbps(r.StageMean(&r.Up, i)),
+			fmt.Sprintf("%.1f", r.StageMean(&r.CPU, i)),
+			fmt.Sprintf("%.1f", r.StageMean(&r.GPU, i)),
+			fmt.Sprintf("%.1f", r.StageMean(&r.FPS, i)),
+			fmt.Sprintf("%.1f", r.StageMean(&r.Stale, i)))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

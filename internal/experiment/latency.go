@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/svrlab/svrlab/internal/platform"
+	"github.com/svrlab/svrlab/internal/stats"
+)
+
+// LatencyBreakdown is one platform's Table 4 row (all values milliseconds).
+type LatencyBreakdown struct {
+	Platform platform.Name
+	Private  bool
+	E2E      stats.Summary
+	Sender   stats.Summary
+	Receiver stats.Summary
+	Server   stats.Summary
+	Network  stats.Summary
+	Samples  int
+}
+
+// Table4Result reproduces paper Table 4 (plus the private Hubs row).
+type Table4Result struct {
+	Rows []LatencyBreakdown
+}
+
+// Table4 measures the end-to-end action latency on each platform with the
+// paper's method: trigger an action on U1, record frame-accurate display on
+// U2, synchronize the two headset clocks through the AP, and break the path
+// down with trace timestamps.
+func Table4(seed int64, repeats int) *Table4Result {
+	if repeats <= 0 {
+		repeats = 20
+	}
+	res := &Table4Result{}
+	for _, p := range platform.All() {
+		res.Rows = append(res.Rows, measureLatency(p.Name, 2, repeats, seed, false))
+	}
+	// Private Hubs (Hubs*).
+	res.Rows = append(res.Rows, measureLatency(platform.Hubs, 2, repeats, seed^0x9a, true))
+	return res
+}
+
+// measureLatency runs `repeats` marked actions in an n-user event and
+// decomposes the latency.
+func measureLatency(name platform.Name, n, repeats int, seed int64, private bool) LatencyBreakdown {
+	l := NewLab(seed)
+	if private {
+		l.Dep.DeployPrivateHubs(platform.SiteUSEast)
+	}
+	cs := make([]*platform.Client, n)
+	for i := 0; i < n; i++ {
+		c := platform.NewClient(l.Dep, name, fmt.Sprintf("u%d", i+1), platform.SiteCampus, 10+i)
+		c.Muted = true
+		c.UsePrivateHubs = private
+		cs[i] = c
+		l.Sched.At(0, c.Launch)
+		l.Sched.At(time.Second, func() { c.JoinEvent("lat") })
+	}
+	l.Sched.At(2*time.Second, func() { arrangeCircle(cs) })
+
+	var ids []uint32
+	for i := 0; i < repeats; i++ {
+		at := 10*time.Second + time.Duration(i)*2*time.Second
+		l.Sched.At(at, func() { ids = append(ids, cs[0].PerformAction()) })
+	}
+	l.Sched.RunUntil(10*time.Second + time.Duration(repeats)*2*time.Second + 5*time.Second)
+
+	// The AP-based clock synchronization step (§7).
+	off1 := cs[0].MeasureClockOffset()
+	off2 := cs[1].MeasureClockOffset()
+
+	var e2e, snd, rcv, srv, net []float64
+	for _, id := range ids {
+		tr := l.Dep.Trace(id)
+		rt := tr.Receiver(cs[1].User) // the U1→U2 path, as in the paper
+		if !rt.Displayed {
+			continue
+		}
+		trigger := tr.TriggeredAtLocal - off1
+		display := rt.DisplayedAtLocal - off2
+		toMs := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		e2e = append(e2e, toMs(display-trigger))
+		snd = append(snd, toMs(tr.SentAt-trigger))
+		srv = append(srv, toMs(tr.ServerOutAt-tr.ServerInAt))
+		rcv = append(rcv, toMs(display-rt.ReceivedAt))
+		net = append(net, toMs((tr.ServerInAt-tr.SentAt)+(rt.ReceivedAt-tr.ServerOutAt)))
+	}
+	return LatencyBreakdown{
+		Platform: name,
+		Private:  private,
+		E2E:      stats.Summarize(e2e),
+		Sender:   stats.Summarize(snd),
+		Receiver: stats.Summarize(rcv),
+		Server:   stats.Summarize(srv),
+		Network:  stats.Summarize(net),
+		Samples:  len(e2e),
+	}
+}
+
+// Render prints the Table 4 artifact.
+func (r *Table4Result) Render() string {
+	t := &Table{Header: []string{"Platform", "E2E (ms)", "Sender", "Receiver", "Server", "Network", "n"}}
+	for _, row := range r.Rows {
+		name := string(row.Platform)
+		if row.Private {
+			name += "*"
+		}
+		cell := func(s stats.Summary) string { return fmt.Sprintf("%s/%s", msf(s.Mean), msf(s.Std)) }
+		t.Add(name, cell(row.E2E), cell(row.Sender), cell(row.Receiver), cell(row.Server), cell(row.Network),
+			fmt.Sprintf("%d", row.Samples))
+	}
+	return "Table 4: end-to-end latency and breakdown (avg/std ms; * = private server)\n" + t.String()
+}
+
+// Fig11Result is the latency-scalability artifact: E2E latency between U1
+// and U2 as more users join.
+type Fig11Result struct {
+	Platform platform.Name
+	Users    []int
+	E2E      []stats.Summary
+}
+
+// Fig11 measures E2E latency at event sizes 2-7 (paper Figure 11).
+func Fig11(name platform.Name, repeats int, seed int64) *Fig11Result {
+	if repeats <= 0 {
+		repeats = 10
+	}
+	res := &Fig11Result{Platform: name}
+	for n := 2; n <= 7; n++ {
+		row := measureLatency(name, n, repeats, seed+int64(n)*1337, false)
+		res.Users = append(res.Users, n)
+		res.E2E = append(res.E2E, row.E2E)
+	}
+	return res
+}
+
+// Deltas returns the added latency per additional user (the paper notes the
+// delta itself grows).
+func (r *Fig11Result) Deltas() []float64 {
+	var out []float64
+	for i := 1; i < len(r.E2E); i++ {
+		out = append(out, r.E2E[i].Mean-r.E2E[i-1].Mean)
+	}
+	return out
+}
+
+// Render prints the Figure 11 artifact.
+func (r *Fig11Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11 (%s): E2E latency vs users\n", r.Platform)
+	for i, n := range r.Users {
+		fmt.Fprintf(&b, "  users=%d  e2e=%s ±%s ms\n", n, msf(r.E2E[i].Mean), msf(r.E2E[i].CI95))
+	}
+	fmt.Fprintf(&b, "per-user deltas (ms):")
+	for _, d := range r.Deltas() {
+		fmt.Fprintf(&b, " %.1f", d)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/svrlab/svrlab/internal/capture"
+	"github.com/svrlab/svrlab/internal/platform"
+	"github.com/svrlab/svrlab/internal/stats"
+)
+
+// ScalePoint is one (platform, user-count) measurement with confidence
+// intervals over repeated events.
+type ScalePoint struct {
+	Users   int
+	DownBps stats.Summary
+	FPS     stats.Summary
+	CPU     stats.Summary
+	GPU     stats.Summary
+	MemMB   stats.Summary
+	Battery stats.Summary // % drained over the event
+}
+
+// ScalingResult backs Figures 7 and 8 (and 9 for private Hubs): the public
+// event sweep over user counts.
+type ScalingResult struct {
+	Platform platform.Name
+	Points   []ScalePoint
+	Repeats  int
+	Private  bool
+}
+
+// PaperUserCounts is the Figure 7/8 x-axis.
+var PaperUserCounts = []int{1, 2, 3, 4, 5, 7, 10, 12, 15}
+
+// Scaling measures U1's downlink throughput and device metrics in events of
+// increasing size (paper §6.2). Events are capped at the platform's maximum
+// (Worlds: 16).
+func Scaling(name platform.Name, counts []int, repeats int, seed int64) *ScalingResult {
+	if repeats <= 0 {
+		repeats = 3
+	}
+	p := platform.Get(name)
+	res := &ScalingResult{Platform: name, Repeats: repeats}
+	for _, n := range counts {
+		if n > p.MaxEventUsers {
+			continue
+		}
+		pt := ScalePoint{Users: n}
+		var down, fps, cpu, gpu, mem, batt []float64
+		for rep := 0; rep < repeats; rep++ {
+			d, f, c, g, m, bd := scalingRun(name, n, seed+int64(rep)*977+int64(n))
+			down = append(down, d)
+			fps = append(fps, f)
+			cpu = append(cpu, c)
+			gpu = append(gpu, g)
+			mem = append(mem, m)
+			batt = append(batt, bd)
+		}
+		pt.DownBps = stats.Summarize(down)
+		pt.FPS = stats.Summarize(fps)
+		pt.CPU = stats.Summarize(cpu)
+		pt.GPU = stats.Summarize(gpu)
+		pt.MemMB = stats.Summarize(mem)
+		pt.Battery = stats.Summarize(batt)
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// scalingRun is one event: n users in a circle, everyone visible, measured
+// over a 40 s steady window.
+func scalingRun(name platform.Name, n int, seed int64) (downBps, fps, cpu, gpu, mem, battDrain float64) {
+	l := NewLab(seed)
+	p := platform.Get(name)
+	cs := l.Spawn(name, n, SpawnOpts{})
+	l.Sched.At(2*time.Second, func() { arrangeCircle(cs) })
+	sniff := capture.Attach(cs[0].Host)
+	l.Sched.RunUntil(60 * time.Second)
+
+	ctrlAddr := l.Dep.ControlEndpoint(p, cs[0].Host.Site).Addr
+	f := l.dataOnly(p, ctrlAddr)
+	downBps = sniff.MeanBps(capture.MatchDown(f), 20*time.Second, 60*time.Second)
+	fps, cpu, gpu, mem = cs[0].Monitor.Means(20*time.Second, 60*time.Second)
+	battDrain = 100 - cs[0].Headset.Battery()
+	return
+}
+
+// LinearFitDown reports the least-squares line of downlink vs users — the
+// "grows almost linearly" check.
+func (r *ScalingResult) LinearFitDown() (slopeBpsPerUser, r2 float64) {
+	var xs, ys []float64
+	for _, pt := range r.Points {
+		xs = append(xs, float64(pt.Users))
+		ys = append(ys, pt.DownBps.Mean)
+	}
+	_, b, rr, ok := stats.LinearFit(xs, ys)
+	if !ok {
+		return 0, 0
+	}
+	return b, rr
+}
+
+// Render prints one platform's Figure 7+8 rows.
+func (r *ScalingResult) Render() string {
+	t := &Table{Header: []string{"Users", "Down (Mbps)", "±CI", "FPS", "±CI", "CPU %", "GPU %", "Mem (GB)", "Batt %/10min"}}
+	for _, pt := range r.Points {
+		t.Add(fmt.Sprintf("%d", pt.Users),
+			mbps(pt.DownBps.Mean), mbps(pt.DownBps.CI95),
+			fmt.Sprintf("%.1f", pt.FPS.Mean), fmt.Sprintf("%.1f", pt.FPS.CI95),
+			fmt.Sprintf("%.1f", pt.CPU.Mean), fmt.Sprintf("%.1f", pt.GPU.Mean),
+			fmt.Sprintf("%.2f", pt.MemMB.Mean/1024),
+			fmt.Sprintf("%.1f", pt.Battery.Mean*10))
+	}
+	slope, r2 := r.LinearFitDown()
+	hdr := fmt.Sprintf("Figures 7+8 (%s): public-event scaling, %d repeats/point", r.Platform, r.Repeats)
+	if r.Private {
+		hdr = fmt.Sprintf("Figure 9 (%s, private server): large-scale event", r.Platform)
+	}
+	return fmt.Sprintf("%s\n%slinear fit: %.1f kbps/user, R²=%.3f\n", hdr, t.String(), slope/1000, r2)
+}
+
+// Fig9 runs the large-scale private-Hubs event (paper Figure 9, 15-28
+// users) against a self-hosted server.
+func Fig9(counts []int, repeats int, seed int64) *ScalingResult {
+	if len(counts) == 0 {
+		counts = []int{15, 20, 25, 28}
+	}
+	if repeats <= 0 {
+		repeats = 2
+	}
+	res := &ScalingResult{Platform: platform.Hubs, Repeats: repeats, Private: true}
+	for _, n := range counts {
+		pt := ScalePoint{Users: n}
+		var down, fps []float64
+		for rep := 0; rep < repeats; rep++ {
+			d, f := fig9Run(n, seed+int64(rep)*31+int64(n))
+			down = append(down, d)
+			fps = append(fps, f)
+		}
+		pt.DownBps = stats.Summarize(down)
+		pt.FPS = stats.Summarize(fps)
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+func fig9Run(n int, seed int64) (downBps, fps float64) {
+	l := NewLab(seed)
+	l.Dep.DeployPrivateHubs(platform.SiteUSEast)
+	cs := make([]*platform.Client, n)
+	for i := 0; i < n; i++ {
+		c := platform.NewClient(l.Dep, platform.Hubs, fmt.Sprintf("u%d", i+1), platform.SiteCampus, 10+i)
+		c.Muted = true
+		c.UsePrivateHubs = true
+		cs[i] = c
+		l.Sched.At(0, c.Launch)
+		l.Sched.At(time.Second, func() { c.JoinEvent("big") })
+	}
+	l.Sched.At(2*time.Second, func() { arrangeCircle(cs) })
+	sniff := capture.Attach(cs[0].Host)
+	l.Sched.RunUntil(50 * time.Second)
+	// All Hubs data rides HTTPS to the private server + RTP keepalive.
+	p := platform.Get(platform.Hubs)
+	f := l.notAsset(p)
+	downBps = sniff.MeanBps(capture.MatchDown(f), 15*time.Second, 50*time.Second)
+	fps, _, _, _ = cs[0].Monitor.Means(15*time.Second, 50*time.Second)
+	return
+}

@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/svrlab/svrlab/internal/platform"
+)
+
+// Table1Result is the feature-matrix artifact (paper Table 1).
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1Row is one platform's feature set.
+type Table1Row struct {
+	Platform    platform.Name
+	Company     string
+	ReleaseYear int
+	Locomotion  string
+	FacialExpr  bool
+	Personal    bool
+	Game        bool
+	ShareScreen bool
+	Shopping    bool
+	NFT         bool
+}
+
+// Table1 reproduces the feature comparison. The data is definitional (the
+// paper compiled it by using the platforms); here it validates that the
+// executable profiles carry the same feature set the paper reports.
+func Table1() *Table1Result {
+	var res Table1Result
+	for _, p := range platform.All() {
+		res.Rows = append(res.Rows, Table1Row{
+			Platform:    p.Name,
+			Company:     p.Features.Company,
+			ReleaseYear: p.Features.ReleaseYear,
+			Locomotion:  strings.Join(p.Features.Locomotion, ", "),
+			FacialExpr:  p.Features.FacialExpr,
+			Personal:    p.Features.PersonalSpace,
+			Game:        p.Features.Game,
+			ShareScreen: p.Features.ShareScreen,
+			Shopping:    p.Features.Shopping,
+			NFT:         p.Features.NFT,
+		})
+	}
+	return &res
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// Render prints the Table 1 artifact.
+func (r *Table1Result) Render() string {
+	t := &Table{Header: []string{"Platform", "Company", "Locomotion", "FacialExpr", "PersonalSpace", "Game", "ShareScreen", "Shopping", "NFT"}}
+	for _, row := range r.Rows {
+		t.Add(fmt.Sprintf("%s ('%02d)", row.Platform, row.ReleaseYear%100),
+			row.Company, row.Locomotion, yn(row.FacialExpr), yn(row.Personal),
+			yn(row.Game), yn(row.ShareScreen), yn(row.Shopping), yn(row.NFT))
+	}
+	return "Table 1: platform feature comparison\n" + t.String()
+}

@@ -1,0 +1,178 @@
+// Package geo models the geographic substrate of the measurement lab: named
+// locations, great-circle distances, speed-of-light propagation delays, and
+// the MaxMind/WHOIS-equivalent registries used to geolocate and attribute
+// server IP addresses (paper §4.2).
+package geo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Point is a location on the globe in decimal degrees.
+type Point struct {
+	Lat, Lon float64
+}
+
+// Region identifies a coarse geographic area, used when reporting server
+// locations the way the paper does ("Eastern U.S.", "Western U.S.", ...).
+type Region string
+
+const (
+	RegionUSEast     Region = "Eastern U.S."
+	RegionUSWest     Region = "Western U.S."
+	RegionUSNorth    Region = "Northern U.S."
+	RegionEurope     Region = "Europe"
+	RegionMiddleEast Region = "Middle East"
+	RegionUnknown    Region = "Unknown"
+)
+
+// Well-known places used by the default topology. Coordinates are approximate
+// city centers; the model only needs relative distances.
+var (
+	Ashburn     = Point{39.04, -77.49}  // US East (Virginia)
+	Fairfax     = Point{38.85, -77.31}  // US East (the paper's campus testbed)
+	Minneapolis = Point{44.98, -93.27}  // US North vantage
+	SanJose     = Point{37.34, -121.89} // US West
+	LosAngeles  = Point{34.05, -118.24} // US West vantage
+	London      = Point{51.51, -0.13}   // Europe
+	TelAviv     = Point{32.08, 34.78}   // Middle East vantage
+)
+
+// RegionOf maps a point to the coarse region used in reports.
+func RegionOf(p Point) Region {
+	switch {
+	case p.Lon < -30 && p.Lon >= -100 && p.Lat > 42:
+		return RegionUSNorth
+	case p.Lon < -100:
+		return RegionUSWest
+	case p.Lon < -30:
+		return RegionUSEast
+	case p.Lon < 25:
+		return RegionEurope
+	case p.Lon < 60:
+		return RegionMiddleEast
+	}
+	return RegionUnknown
+}
+
+const earthRadiusKm = 6371.0
+
+// DistanceKm returns the great-circle distance between two points.
+func DistanceKm(a, b Point) float64 {
+	la1 := a.Lat * math.Pi / 180
+	la2 := b.Lat * math.Pi / 180
+	dLat := (b.Lat - a.Lat) * math.Pi / 180
+	dLon := (b.Lon - a.Lon) * math.Pi / 180
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(la1)*math.Cos(la2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// PropagationDelay converts a great-circle distance into a one-way
+// propagation delay. Light in fiber covers ~200 km/ms; real paths are not
+// great circles, so a route-stretch factor of 1.75 is applied — this lands
+// the US-East→US-West RTT near 72 ms and Europe→US-West near 150 ms,
+// matching Table 2 and §4.2.
+func PropagationDelay(a, b Point) time.Duration {
+	const kmPerMs = 200.0
+	const stretch = 1.75
+	ms := DistanceKm(a, b) * stretch / kmPerMs
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// Owner identifies the organization operating an address block, as WHOIS
+// would report it.
+type Owner string
+
+const (
+	OwnerMicrosoft  Owner = "Microsoft"
+	OwnerMeta       Owner = "Meta"
+	OwnerAWS        Owner = "AWS"
+	OwnerCloudflare Owner = "Cloudflare"
+	OwnerANS        Owner = "ANS"
+	OwnerCampus     Owner = "Campus"
+	OwnerUnknown    Owner = "Unknown"
+)
+
+// Record is a registry entry for one address block: the MaxMind-equivalent
+// location plus the WHOIS-equivalent owner. Anycast blocks carry no stable
+// location, mirroring how geolocation databases mislead for anycast (§4.2).
+type Record struct {
+	Prefix   uint32 // high bits of the address
+	Bits     int    // prefix length (0..32)
+	Loc      Point
+	Anycast  bool
+	Owner    Owner
+	Hostname string
+}
+
+// Registry is the combined geolocation (MaxMind/ipinfo substitute) and
+// ownership (WHOIS substitute) database for the simulated address space.
+type Registry struct {
+	records []Record
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Add registers a record. Longest-prefix match wins on lookup.
+func (r *Registry) Add(rec Record) error {
+	if rec.Bits < 0 || rec.Bits > 32 {
+		return fmt.Errorf("geo: invalid prefix length %d", rec.Bits)
+	}
+	rec.Prefix &= mask(rec.Bits)
+	r.records = append(r.records, rec)
+	// Keep sorted by descending prefix length so the first match is the
+	// most specific.
+	sort.SliceStable(r.records, func(i, j int) bool { return r.records[i].Bits > r.records[j].Bits })
+	return nil
+}
+
+func mask(bits int) uint32 {
+	if bits <= 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - bits)
+}
+
+// Lookup finds the most specific record covering addr.
+func (r *Registry) Lookup(addr uint32) (Record, bool) {
+	for _, rec := range r.records {
+		if addr&mask(rec.Bits) == rec.Prefix {
+			return rec, true
+		}
+	}
+	return Record{}, false
+}
+
+// LocationOf reports the region MaxMind would claim for addr. Anycast blocks
+// report RegionUnknown: the database answer is meaningless for them, which is
+// exactly why the paper cross-checks with traceroute.
+func (r *Registry) LocationOf(addr uint32) Region {
+	rec, ok := r.Lookup(addr)
+	if !ok || rec.Anycast {
+		return RegionUnknown
+	}
+	return RegionOf(rec.Loc)
+}
+
+// OwnerOf reports the WHOIS owner for addr.
+func (r *Registry) OwnerOf(addr uint32) Owner {
+	rec, ok := r.Lookup(addr)
+	if !ok {
+		return OwnerUnknown
+	}
+	return rec.Owner
+}
+
+// HostnameOf reports the reverse-DNS name for addr, if registered.
+func (r *Registry) HostnameOf(addr uint32) string {
+	rec, ok := r.Lookup(addr)
+	if !ok {
+		return ""
+	}
+	return rec.Hostname
+}

@@ -1,0 +1,543 @@
+// Package netsim is the network fabric of the measurement lab: geo-placed
+// sites connected by backbone links, hosts attached through access links
+// (the "WiFi AP" position of the paper's testbed), static shortest-path
+// routing with per-hop TTL handling, anycast address groups, capture taps,
+// and tc-netem-style impairment attachment points.
+//
+// The fabric is intentionally a fluid-flow approximation at the link level:
+// each link serializes packets at its configured bandwidth and applies
+// propagation delay plus bounded FIFO queueing with tail drop. That is the
+// minimum mechanism that still produces real queueing delay, real loss under
+// overload, and realistic traceroute/ping behaviour.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/svrlab/svrlab/internal/geo"
+	"github.com/svrlab/svrlab/internal/packet"
+	"github.com/svrlab/svrlab/internal/simtime"
+)
+
+// DefaultTTL is the initial TTL of packets sent without an explicit TTL.
+const DefaultTTL = 64
+
+// perHopCost models router forwarding latency at every site hop.
+const perHopCost = 100 * time.Microsecond
+
+// Dir tells a capture tap which way a packet crossed the tap point, from the
+// host's perspective.
+type Dir int
+
+const (
+	DirUp   Dir = iota // host -> network
+	DirDown            // network -> host
+)
+
+func (d Dir) String() string {
+	if d == DirUp {
+		return "up"
+	}
+	return "down"
+}
+
+// TapFunc observes wire bytes crossing a host's access point. The bytes are
+// valid only for the duration of the call.
+type TapFunc func(at time.Duration, dir Dir, wire []byte)
+
+// Netem is a tc-netem-equivalent impairment applied to one direction of a
+// host's access link. A nil Filter matches every packet; otherwise the
+// impairment applies only to packets for which Filter returns true (used by
+// the Fig. 13 "TCP uplink only" experiments).
+type Netem struct {
+	RateBps   float64       // token rate cap; 0 = unlimited
+	Delay     time.Duration // added constant delay
+	Loss      float64       // drop probability in [0,1]
+	Filter    func(*packet.Packet) bool
+	busyUntil time.Duration
+}
+
+func (n *Netem) matches(p *packet.Packet) bool {
+	return n != nil && (n.Filter == nil || n.Filter(p))
+}
+
+// FilterTCP matches only TCP packets (for TCP-only impairments).
+func FilterTCP(p *packet.Packet) bool { return p.IP.Protocol == packet.ProtoTCP }
+
+// FilterUDP matches only UDP packets.
+func FilterUDP(p *packet.Packet) bool { return p.IP.Protocol == packet.ProtoUDP }
+
+// Link is a unidirectional transmission resource.
+type Link struct {
+	BandwidthBps float64       // 0 = infinite
+	PropDelay    time.Duration // propagation latency
+	Jitter       time.Duration // uniform random extra delay in [0, Jitter)
+	MaxQueue     time.Duration // max tolerated queueing delay before tail drop
+	busyUntil    time.Duration
+	lastArrive   time.Duration
+}
+
+// transmit computes when a packet of size bytes finishes crossing the link
+// if it enters at now, honouring serialization, queueing, and tail drop.
+// Delivery is FIFO: jitter never reorders packets within a link (reordering
+// would make TCP see phantom loss via duplicate ACKs).
+func (l *Link) transmit(now time.Duration, size int, rng *rand.Rand) (arrive time.Duration, dropped bool) {
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	if l.MaxQueue > 0 && start-now > l.MaxQueue {
+		return 0, true
+	}
+	var tx time.Duration
+	if l.BandwidthBps > 0 {
+		tx = time.Duration(float64(size*8) / l.BandwidthBps * float64(time.Second))
+	}
+	l.busyUntil = start + tx
+	arrive = l.busyUntil + l.PropDelay
+	if l.Jitter > 0 && rng != nil {
+		arrive += time.Duration(rng.Float64() * float64(l.Jitter))
+	}
+	if arrive < l.lastArrive {
+		arrive = l.lastArrive
+	}
+	l.lastArrive = arrive
+	return arrive, false
+}
+
+// Site is a routing location: a point of presence with a router address.
+type Site struct {
+	Name   string
+	Loc    geo.Point
+	Router packet.Addr
+
+	index     int
+	neighbors map[*Site]*Link
+}
+
+// Host is an endpoint attached to a site through up/down access links.
+type Host struct {
+	ID   string
+	Addr packet.Addr
+	Site *Site
+
+	// Up and Down are the access links (host->site and site->host).
+	Up, Down *Link
+	// UpNetem and DownNetem are optional impairments, applied before the
+	// access link in the send direction and after it when receiving.
+	UpNetem, DownNetem *Netem
+
+	// Handler receives every packet addressed to this host. Typically the
+	// transport demultiplexer.
+	Handler func(*packet.Packet)
+
+	taps []TapFunc
+	net  *Network
+
+	// Stats observable by tests.
+	SentPackets, RecvPackets int
+	SentBytes, RecvBytes     int
+}
+
+// Tap registers a capture callback at this host's access point; both
+// directions are observed, like Wireshark on the paper's WiFi APs.
+func (h *Host) Tap(fn TapFunc) { h.taps = append(h.taps, fn) }
+
+func (h *Host) runTaps(at time.Duration, dir Dir, wire []byte) {
+	for _, t := range h.taps {
+		t(at, dir, wire)
+	}
+}
+
+// Network is the simulated fabric.
+type Network struct {
+	Sched    *simtime.Scheduler
+	Rng      *rand.Rand
+	Registry *geo.Registry
+
+	sites   []*Site
+	hosts   map[packet.Addr]*Host
+	anycast map[packet.Addr][]*Host
+
+	// routeCache[srcSiteIndex][dstSiteIndex] is the site path, inclusive.
+	routeCache map[int]map[int][]*Site
+
+	ipid uint16
+}
+
+// New creates an empty network bound to a scheduler and seeded RNG.
+func New(s *simtime.Scheduler, seed int64) *Network {
+	return &Network{
+		Sched:      s,
+		Rng:        rand.New(rand.NewSource(seed)),
+		Registry:   geo.NewRegistry(),
+		hosts:      make(map[packet.Addr]*Host),
+		anycast:    make(map[packet.Addr][]*Host),
+		routeCache: make(map[int]map[int][]*Site),
+	}
+}
+
+// AddSite creates a routing site. The router address must be unique.
+func (n *Network) AddSite(name string, loc geo.Point, router packet.Addr) *Site {
+	s := &Site{Name: name, Loc: loc, Router: router, index: len(n.sites), neighbors: make(map[*Site]*Link)}
+	n.sites = append(n.sites, s)
+	n.routeCache = make(map[int]map[int][]*Site) // invalidate
+	return s
+}
+
+// Connect joins two sites with symmetric backbone links whose propagation
+// delay derives from geography. Backbone links are provisioned fat (no
+// congestion): the paper's bottlenecks are access links and servers.
+func (n *Network) Connect(a, b *Site) {
+	d := geo.PropagationDelay(a.Loc, b.Loc)
+	mk := func() *Link {
+		return &Link{BandwidthBps: 10e9, PropDelay: d, Jitter: 50 * time.Microsecond, MaxQueue: 500 * time.Millisecond}
+	}
+	a.neighbors[b] = mk()
+	b.neighbors[a] = mk()
+	n.routeCache = make(map[int]map[int][]*Site)
+}
+
+// AccessProfile describes a host's last-mile connection.
+type AccessProfile struct {
+	UpBps, DownBps float64
+	Delay          time.Duration
+	Jitter         time.Duration
+	MaxQueue       time.Duration
+}
+
+// WiFiAccess approximates the paper's campus WiFi APs.
+func WiFiAccess() AccessProfile {
+	return AccessProfile{UpBps: 100e6, DownBps: 100e6, Delay: 1 * time.Millisecond, Jitter: 300 * time.Microsecond, MaxQueue: 200 * time.Millisecond}
+}
+
+// DatacenterAccess approximates a server NIC.
+func DatacenterAccess() AccessProfile {
+	return AccessProfile{UpBps: 1e9, DownBps: 1e9, Delay: 200 * time.Microsecond, Jitter: 50 * time.Microsecond, MaxQueue: 200 * time.Millisecond}
+}
+
+// AddHost attaches a host with the given unique address to a site.
+func (n *Network) AddHost(id string, site *Site, addr packet.Addr, ap AccessProfile) *Host {
+	if _, dup := n.hosts[addr]; dup {
+		panic(fmt.Sprintf("netsim: duplicate host address %v", addr))
+	}
+	h := &Host{
+		ID: id, Addr: addr, Site: site,
+		Up:   &Link{BandwidthBps: ap.UpBps, PropDelay: ap.Delay, Jitter: ap.Jitter, MaxQueue: ap.MaxQueue},
+		Down: &Link{BandwidthBps: ap.DownBps, PropDelay: ap.Delay, Jitter: ap.Jitter, MaxQueue: ap.MaxQueue},
+		net:  n,
+	}
+	n.hosts[addr] = h
+	return h
+}
+
+// HostByAddr resolves a unicast host address.
+func (n *Network) HostByAddr(a packet.Addr) (*Host, bool) {
+	h, ok := n.hosts[a]
+	return h, ok
+}
+
+// AddAnycast binds a shared service address to a set of host instances.
+// Sends to addr resolve to the instance nearest (in path delay) to the
+// sender's site, mirroring BGP anycast.
+func (n *Network) AddAnycast(addr packet.Addr, instances ...*Host) {
+	if len(instances) == 0 {
+		panic("netsim: anycast group needs at least one instance")
+	}
+	n.anycast[addr] = append(n.anycast[addr], instances...)
+}
+
+// IsAnycast reports whether addr is an anycast service address.
+func (n *Network) IsAnycast(addr packet.Addr) bool { return len(n.anycast[addr]) > 0 }
+
+// sitePath returns the minimum-delay site sequence from a to b (inclusive).
+func (n *Network) sitePath(a, b *Site) []*Site {
+	if m, ok := n.routeCache[a.index]; ok {
+		if p, ok := m[b.index]; ok {
+			return p
+		}
+	}
+	// Dijkstra over the site graph.
+	const inf = time.Duration(1<<62 - 1)
+	dist := make([]time.Duration, len(n.sites))
+	prev := make([]*Site, len(n.sites))
+	done := make([]bool, len(n.sites))
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[a.index] = 0
+	for {
+		best := -1
+		for i, s := range n.sites {
+			_ = s
+			if !done[i] && dist[i] < inf && (best < 0 || dist[i] < dist[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		done[best] = true
+		cur := n.sites[best]
+		for nb, l := range cur.neighbors {
+			alt := dist[best] + l.PropDelay + perHopCost
+			if alt < dist[nb.index] {
+				dist[nb.index] = alt
+				prev[nb.index] = cur
+			}
+		}
+	}
+	if dist[b.index] == inf {
+		return nil
+	}
+	var path []*Site
+	for s := b; s != nil; s = prev[s.index] {
+		path = append([]*Site{s}, path...)
+		if s == a {
+			break
+		}
+	}
+	if len(path) == 0 || path[0] != a {
+		return nil
+	}
+	if _, ok := n.routeCache[a.index]; !ok {
+		n.routeCache[a.index] = make(map[int][]*Site)
+	}
+	n.routeCache[a.index][b.index] = path
+	return path
+}
+
+// pathDelay sums the propagation+hop costs along a site path.
+func (n *Network) pathDelay(path []*Site) time.Duration {
+	var d time.Duration
+	for i := 0; i+1 < len(path); i++ {
+		d += path[i].neighbors[path[i+1]].PropDelay + perHopCost
+	}
+	return d
+}
+
+// ResolveAnycast picks the instance a sender at the given site would reach.
+func (n *Network) ResolveAnycast(addr packet.Addr, from *Site) (*Host, bool) {
+	insts := n.anycast[addr]
+	if len(insts) == 0 {
+		return nil, false
+	}
+	var best *Host
+	bestD := time.Duration(1<<62 - 1)
+	for _, h := range insts {
+		p := n.sitePath(from, h.Site)
+		if p == nil {
+			continue
+		}
+		if d := n.pathDelay(p); d < bestD {
+			bestD, best = d, h
+		}
+	}
+	return best, best != nil
+}
+
+// Send transmits pkt from host h. The IP source defaults to h's address
+// when unset; services answering on an anycast address set it explicitly.
+// TTL defaults to DefaultTTL when zero. Returns false if the destination is
+// unroutable (the packet is silently dropped, as the real Internet would).
+//
+// The capture tap sits after the uplink netem impairment — the paper's
+// vantage point (tc-netem and Wireshark on the same AP, with capture seeing
+// post-qdisc traffic), so shaped rates are what captures report.
+func (n *Network) Send(h *Host, pkt *packet.Packet) bool {
+	if pkt.IP.Src == 0 {
+		pkt.IP.Src = h.Addr
+	}
+	if pkt.IP.TTL == 0 {
+		pkt.IP.TTL = DefaultTTL
+	}
+	n.ipid++
+	pkt.IP.ID = n.ipid
+
+	dst, ok := n.hosts[pkt.IP.Dst]
+	if !ok {
+		if dst, ok = n.ResolveAnycast(pkt.IP.Dst, h.Site); !ok {
+			return false
+		}
+	}
+	path := n.sitePath(h.Site, dst.Site)
+	if path == nil {
+		return false
+	}
+
+	wire := pkt.Marshal()
+	size := len(wire)
+	now := n.Sched.Now()
+	h.SentPackets++
+	h.SentBytes += size
+
+	// Uplink netem first (loss, shaping, delay)...
+	depart := now
+	if h.UpNetem.matches(pkt) {
+		d, drop := n.applyNetem(h.UpNetem, depart, size)
+		if drop {
+			return true // consumed (dropped) — still "sent"
+		}
+		depart = d
+	}
+	// ...then tap and access link at departure time.
+	emit := func() {
+		h.runTaps(n.Sched.Now(), DirUp, wire)
+		arrive, drop := h.Up.transmit(n.Sched.Now(), size, n.Rng)
+		if drop {
+			return
+		}
+		n.Sched.At(arrive, func() { n.forward(pkt, h, dst, path, 0, size) })
+	}
+	if depart <= now {
+		emit()
+	} else {
+		n.Sched.At(depart, emit)
+	}
+	return true
+}
+
+// applyNetem applies loss, rate limiting and delay; returns new departure
+// time or drop.
+func (n *Network) applyNetem(ne *Netem, now time.Duration, size int) (time.Duration, bool) {
+	if ne.Loss > 0 && n.Rng.Float64() < ne.Loss {
+		return 0, true
+	}
+	depart := now
+	if ne.RateBps > 0 {
+		start := depart
+		if ne.busyUntil > start {
+			start = ne.busyUntil
+		}
+		// Bounded shaping queue: beyond 250 ms of backlog the shaper tail-drops,
+		// as tbf/netem with a finite limit would.
+		if start-now > 250*time.Millisecond {
+			return 0, true
+		}
+		tx := time.Duration(float64(size*8) / ne.RateBps * float64(time.Second))
+		ne.busyUntil = start + tx
+		depart = ne.busyUntil
+	}
+	return depart + ne.Delay, false
+}
+
+// forward walks pkt through the site path. hopIdx is the index of the site
+// whose router is now handling the packet.
+func (n *Network) forward(pkt *packet.Packet, src, dst *Host, path []*Site, hopIdx, size int) {
+	site := path[hopIdx]
+	// Router TTL handling.
+	if pkt.IP.TTL <= 1 {
+		n.sendICMPError(site.Router, src, pkt, packet.ICMPTimeExceeded, 0)
+		return
+	}
+	pkt.IP.TTL--
+
+	if hopIdx == len(path)-1 {
+		// Final site: cross the destination access link.
+		depart := n.Sched.Now() + perHopCost
+		arrive, drop := dst.Down.transmit(depart, size, n.Rng)
+		if drop {
+			return
+		}
+		if dst.DownNetem.matches(pkt) {
+			d, dropped := n.applyNetem(dst.DownNetem, arrive, size)
+			if dropped {
+				return
+			}
+			arrive = d
+		}
+		n.Sched.At(arrive, func() { n.deliver(dst, pkt) })
+		return
+	}
+	next := path[hopIdx+1]
+	l := site.neighbors[next]
+	arrive, drop := l.transmit(n.Sched.Now()+perHopCost, size, n.Rng)
+	if drop {
+		return
+	}
+	n.Sched.At(arrive, func() { n.forward(pkt, src, dst, path, hopIdx+1, size) })
+}
+
+func (n *Network) deliver(dst *Host, pkt *packet.Packet) {
+	wire := pkt.Marshal()
+	dst.RecvPackets++
+	dst.RecvBytes += len(wire)
+	dst.runTaps(n.Sched.Now(), DirDown, wire)
+	if dst.Handler != nil {
+		dst.Handler(pkt)
+	}
+}
+
+// sendICMPError emits an ICMP error from a router (or host) address back to
+// the original sender. The reverse trip reuses the forward path delays
+// without queueing — adequate for probe RTT estimation.
+func (n *Network) sendICMPError(from packet.Addr, to *Host, orig *packet.Packet, icmpType, code uint8) {
+	// Quote the original header's identifying fields the way real ICMP
+	// quotes the first 28 bytes; probes match replies by this.
+	quoted := orig.Marshal()
+	if len(quoted) > 28 {
+		quoted = quoted[:28]
+	}
+	reply := &packet.Packet{
+		IP:      packet.IPv4{TTL: DefaultTTL, Protocol: packet.ProtoICMP, Src: from, Dst: to.Addr},
+		ICMP:    &packet.ICMP{Type: icmpType, Code: code, ID: orig.IP.ID},
+		Payload: quoted,
+	}
+	// Reverse delay: locate the router's site and sum path back.
+	var rsite *Site
+	for _, s := range n.sites {
+		if s.Router == from {
+			rsite = s
+			break
+		}
+	}
+	var back time.Duration = perHopCost
+	if rsite != nil {
+		if p := n.sitePath(rsite, to.Site); p != nil {
+			back += n.pathDelay(p)
+		}
+	}
+	back += to.Down.PropDelay
+	n.Sched.After(back, func() { n.deliver(to, reply) })
+}
+
+// SendICMPFromHost lets a host's stack emit ICMP errors (e.g. port
+// unreachable when a UDP probe hits a closed port, which terminates a
+// traceroute).
+func (n *Network) SendICMPFromHost(h *Host, orig *packet.Packet, icmpType, code uint8) {
+	dst, ok := n.hosts[orig.IP.Src]
+	if !ok {
+		return
+	}
+	quoted := orig.Marshal()
+	if len(quoted) > 28 {
+		quoted = quoted[:28]
+	}
+	reply := &packet.Packet{
+		// Reply from the address the probe targeted (for anycast services
+		// this is the shared service address, as real deployments answer).
+		IP:      packet.IPv4{Protocol: packet.ProtoICMP, Src: orig.IP.Dst, Dst: dst.Addr},
+		ICMP:    &packet.ICMP{Type: icmpType, Code: code, ID: orig.IP.ID},
+		Payload: quoted,
+	}
+	n.Send(h, reply)
+}
+
+// PathRouters exposes the router addresses a packet from h to dst would
+// traverse — used by tests to validate traceroute output.
+func (n *Network) PathRouters(h *Host, dstAddr packet.Addr) []packet.Addr {
+	dst, ok := n.hosts[dstAddr]
+	if !ok {
+		if dst, ok = n.ResolveAnycast(dstAddr, h.Site); !ok {
+			return nil
+		}
+	}
+	path := n.sitePath(h.Site, dst.Site)
+	out := make([]packet.Addr, 0, len(path))
+	for _, s := range path {
+		out = append(out, s.Router)
+	}
+	return out
+}

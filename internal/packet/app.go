@@ -1,0 +1,160 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Application-layer framing decoded by the capture toolkit: TLS records (the
+// HTTPS control channels) and RTP/RTCP (the Hubs WebRTC voice channel).
+
+// TLS record content types (subset).
+const (
+	TLSHandshake       = 22
+	TLSApplicationData = 23
+	TLSRecordHeaderLen = 5
+	// TLSRecordOverhead is the per-record ciphertext expansion of an
+	// AES-GCM AEAD: 8-byte explicit nonce + 16-byte tag.
+	TLSRecordOverhead = 24
+)
+
+// TLSRecord is one TLS record header plus its (opaque) body length.
+type TLSRecord struct {
+	ContentType uint8
+	BodyLen     int
+}
+
+// MarshalTLSRecord frames body bytes as a TLS record of the given content
+// type, including AEAD expansion. The body itself is appended verbatim; the
+// simulation does not need real encryption, only real sizes.
+func MarshalTLSRecord(contentType uint8, body []byte) []byte {
+	out := make([]byte, TLSRecordHeaderLen+len(body)+TLSRecordOverhead)
+	out[0] = contentType
+	out[1] = 3
+	out[2] = 3 // TLS 1.2 wire version
+	binary.BigEndian.PutUint16(out[3:5], uint16(len(body)+TLSRecordOverhead))
+	copy(out[TLSRecordHeaderLen:], body)
+	return out
+}
+
+var errTLSShort = errors.New("packet: truncated TLS record")
+
+// DecodeTLSRecord parses one record from the front of b, returning the
+// record, the plaintext body, and the remaining bytes.
+func DecodeTLSRecord(b []byte) (TLSRecord, []byte, []byte, error) {
+	if len(b) < TLSRecordHeaderLen {
+		return TLSRecord{}, nil, nil, errTLSShort
+	}
+	n := int(binary.BigEndian.Uint16(b[3:5]))
+	if len(b) < TLSRecordHeaderLen+n || n < TLSRecordOverhead {
+		return TLSRecord{}, nil, nil, errTLSShort
+	}
+	rec := TLSRecord{ContentType: b[0], BodyLen: n}
+	body := b[TLSRecordHeaderLen : TLSRecordHeaderLen+n-TLSRecordOverhead]
+	rest := b[TLSRecordHeaderLen+n:]
+	return rec, body, rest, nil
+}
+
+// RTP constants.
+const (
+	RTPHeaderLen  = 12
+	RTCPHeaderLen = 8
+	// SRTPAuthTagLen is the SRTP authentication tag appended to secure RTP.
+	SRTPAuthTagLen = 10
+	// RTPPayloadOpus is the dynamic payload type used for Opus voice.
+	RTPPayloadOpus = 111
+	// RTCPSenderReport / RTCPReceiverReport packet types.
+	RTCPSenderReport   = 200
+	RTCPReceiverReport = 201
+)
+
+// RTPHeader is the fixed RTP header.
+type RTPHeader struct {
+	PayloadType uint8
+	Seq         uint16
+	Timestamp   uint32
+	SSRC        uint32
+	Marker      bool
+}
+
+// MarshalRTP frames a payload as an SRTP packet (RTP header + payload +
+// auth tag).
+func MarshalRTP(h RTPHeader, payload []byte) []byte {
+	out := make([]byte, RTPHeaderLen+len(payload)+SRTPAuthTagLen)
+	out[0] = 2 << 6 // version 2
+	pt := h.PayloadType & 0x7f
+	if h.Marker {
+		pt |= 0x80
+	}
+	out[1] = pt
+	binary.BigEndian.PutUint16(out[2:4], h.Seq)
+	binary.BigEndian.PutUint32(out[4:8], h.Timestamp)
+	binary.BigEndian.PutUint32(out[8:12], h.SSRC)
+	copy(out[RTPHeaderLen:], payload)
+	return out
+}
+
+var errRTPShort = errors.New("packet: truncated RTP")
+
+// DecodeRTP parses an SRTP packet, returning the header and voice payload.
+func DecodeRTP(b []byte) (RTPHeader, []byte, error) {
+	if len(b) < RTPHeaderLen+SRTPAuthTagLen {
+		return RTPHeader{}, nil, errRTPShort
+	}
+	if b[0]>>6 != 2 {
+		return RTPHeader{}, nil, errors.New("packet: bad RTP version")
+	}
+	h := RTPHeader{
+		PayloadType: b[1] & 0x7f,
+		Marker:      b[1]&0x80 != 0,
+		Seq:         binary.BigEndian.Uint16(b[2:4]),
+		Timestamp:   binary.BigEndian.Uint32(b[4:8]),
+		SSRC:        binary.BigEndian.Uint32(b[8:12]),
+	}
+	return h, b[RTPHeaderLen : len(b)-SRTPAuthTagLen], nil
+}
+
+// RTCPPacket is a minimal sender/receiver report used for WebRTC RTT
+// estimation (the paper reads RTT from chrome://webrtc-internals; our
+// equivalent computes it from LSR/DLSR in these reports).
+type RTCPPacket struct {
+	Type uint8 // RTCPSenderReport or RTCPReceiverReport
+	SSRC uint32
+	// LSR is the middle 32 bits of the NTP timestamp of the last sender
+	// report received; DLSR is the delay since receiving it, in 1/65536 s.
+	LSR, DLSR uint32
+}
+
+// MarshalRTCP frames a report.
+func MarshalRTCP(p RTCPPacket) []byte {
+	out := make([]byte, RTCPHeaderLen+8)
+	out[0] = 2 << 6
+	out[1] = p.Type
+	binary.BigEndian.PutUint16(out[2:4], uint16(len(out)/4-1))
+	binary.BigEndian.PutUint32(out[4:8], p.SSRC)
+	binary.BigEndian.PutUint32(out[8:12], p.LSR)
+	binary.BigEndian.PutUint32(out[12:16], p.DLSR)
+	return out
+}
+
+// DecodeRTCP parses a report.
+func DecodeRTCP(b []byte) (RTCPPacket, error) {
+	if len(b) < RTCPHeaderLen+8 {
+		return RTCPPacket{}, errors.New("packet: truncated RTCP")
+	}
+	if b[0]>>6 != 2 {
+		return RTCPPacket{}, errors.New("packet: bad RTCP version")
+	}
+	return RTCPPacket{
+		Type: b[1],
+		SSRC: binary.BigEndian.Uint32(b[4:8]),
+		LSR:  binary.BigEndian.Uint32(b[8:12]),
+		DLSR: binary.BigEndian.Uint32(b[12:16]),
+	}, nil
+}
+
+// IsRTCP distinguishes RTCP from RTP on a muxed port (RFC 5761 heuristic:
+// RTCP packet types 200-204 fall in the RTP payload-type forbidden zone).
+func IsRTCP(b []byte) bool {
+	return len(b) >= 2 && b[1] >= 200 && b[1] <= 204
+}

@@ -1,0 +1,366 @@
+// Package packet defines the byte-accurate wire formats that travel across
+// the simulated fabric, and the decoding machinery used by the capture
+// toolkit. The design follows the gopacket idioms: packets decompose into
+// typed layers, flows are hashable endpoint pairs, and every header has a
+// marshal/unmarshal pair so that throughput is always computed from real
+// wire bytes.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4-style 32-bit address.
+type Addr uint32
+
+// String renders the address in dotted-quad form.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// MustParseAddr parses "a.b.c.d"; it panics on malformed input and exists for
+// topology literals in tests and profiles.
+func MustParseAddr(s string) Addr {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		panic(fmt.Sprintf("packet: bad address %q", s))
+	}
+	var a Addr
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			panic(fmt.Sprintf("packet: bad address %q", s))
+		}
+		a = a<<8 | Addr(v)
+	}
+	return a
+}
+
+// Proto is the IP protocol number.
+type Proto uint8
+
+const (
+	ProtoICMP Proto = 1
+	ProtoTCP  Proto = 6
+	ProtoUDP  Proto = 17
+)
+
+func (p Proto) String() string {
+	switch p {
+	case ProtoICMP:
+		return "ICMP"
+	case ProtoTCP:
+		return "TCP"
+	case ProtoUDP:
+		return "UDP"
+	}
+	return fmt.Sprintf("proto-%d", uint8(p))
+}
+
+// Header sizes on the wire, in bytes.
+const (
+	IPv4HeaderLen = 20
+	UDPHeaderLen  = 8
+	TCPHeaderLen  = 20
+	ICMPHeaderLen = 8
+)
+
+// TCP flag bits.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+)
+
+// ICMP message types (subset).
+const (
+	ICMPEchoReply      = 0
+	ICMPEchoRequest    = 8
+	ICMPTimeExceeded   = 11
+	ICMPDestUnreach    = 3
+	ICMPPortUnreachTag = 3 // code under DestUnreach
+)
+
+// IPv4 is the network-layer header.
+type IPv4 struct {
+	TTL      uint8
+	Protocol Proto
+	Src, Dst Addr
+	ID       uint16
+	TotalLen uint16 // filled during marshal
+}
+
+// UDP is the datagram transport header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16 // header+payload, filled during marshal
+}
+
+// TCP is the stream transport header.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+}
+
+// HasFlag reports whether all bits in f are set.
+func (t *TCP) HasFlag(f uint8) bool { return t.Flags&f == f }
+
+// ICMP is the control-message header. For echo, ID/Seq identify the probe;
+// for time-exceeded / unreachable, Quoted carries the first bytes of the
+// offending packet as real ICMP does.
+type ICMP struct {
+	Type, Code uint8
+	ID, Seq    uint16
+}
+
+// Packet is a fully decoded wire packet: an IPv4 layer plus exactly one
+// transport layer and an opaque application payload.
+type Packet struct {
+	IP      IPv4
+	UDP     *UDP
+	TCP     *TCP
+	ICMP    *ICMP
+	Payload []byte
+}
+
+// Proto returns the transport protocol of the packet.
+func (p *Packet) Proto() Proto { return p.IP.Protocol }
+
+// WireLen returns the marshaled size in bytes without serializing.
+func (p *Packet) WireLen() int {
+	n := IPv4HeaderLen + len(p.Payload)
+	switch {
+	case p.UDP != nil:
+		n += UDPHeaderLen
+	case p.TCP != nil:
+		n += TCPHeaderLen
+	case p.ICMP != nil:
+		n += ICMPHeaderLen
+	}
+	return n
+}
+
+// Clone deep-copies the packet (payload included) so queued copies cannot
+// alias a buffer the sender later mutates.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.UDP != nil {
+		u := *p.UDP
+		q.UDP = &u
+	}
+	if p.TCP != nil {
+		t := *p.TCP
+		q.TCP = &t
+	}
+	if p.ICMP != nil {
+		i := *p.ICMP
+		q.ICMP = &i
+	}
+	if p.Payload != nil {
+		q.Payload = append([]byte(nil), p.Payload...)
+	}
+	return &q
+}
+
+// internetChecksum is the ones-complement sum used by IPv4/ICMP.
+func internetChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// Marshal serializes the packet to wire bytes, computing lengths and the
+// IPv4 header checksum.
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, p.WireLen())
+	total := len(buf)
+	// IPv4 header.
+	buf[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(buf[2:4], uint16(total))
+	binary.BigEndian.PutUint16(buf[4:6], p.IP.ID)
+	buf[8] = p.IP.TTL
+	buf[9] = uint8(p.IP.Protocol)
+	binary.BigEndian.PutUint32(buf[12:16], uint32(p.IP.Src))
+	binary.BigEndian.PutUint32(buf[16:20], uint32(p.IP.Dst))
+	binary.BigEndian.PutUint16(buf[10:12], 0)
+	binary.BigEndian.PutUint16(buf[10:12], internetChecksum(buf[:IPv4HeaderLen]))
+	off := IPv4HeaderLen
+	switch {
+	case p.UDP != nil:
+		binary.BigEndian.PutUint16(buf[off:], p.UDP.SrcPort)
+		binary.BigEndian.PutUint16(buf[off+2:], p.UDP.DstPort)
+		binary.BigEndian.PutUint16(buf[off+4:], uint16(UDPHeaderLen+len(p.Payload)))
+		off += UDPHeaderLen
+	case p.TCP != nil:
+		binary.BigEndian.PutUint16(buf[off:], p.TCP.SrcPort)
+		binary.BigEndian.PutUint16(buf[off+2:], p.TCP.DstPort)
+		binary.BigEndian.PutUint32(buf[off+4:], p.TCP.Seq)
+		binary.BigEndian.PutUint32(buf[off+8:], p.TCP.Ack)
+		buf[off+12] = 5 << 4 // data offset
+		buf[off+13] = p.TCP.Flags
+		binary.BigEndian.PutUint16(buf[off+14:], p.TCP.Window)
+		off += TCPHeaderLen
+	case p.ICMP != nil:
+		buf[off] = p.ICMP.Type
+		buf[off+1] = p.ICMP.Code
+		binary.BigEndian.PutUint16(buf[off+4:], p.ICMP.ID)
+		binary.BigEndian.PutUint16(buf[off+6:], p.ICMP.Seq)
+		off += ICMPHeaderLen
+	}
+	copy(buf[off:], p.Payload)
+	return buf
+}
+
+var (
+	errShort      = errors.New("packet: truncated")
+	errBadVersion = errors.New("packet: not IPv4")
+	errBadLen     = errors.New("packet: inconsistent length")
+	errChecksum   = errors.New("packet: bad IPv4 checksum")
+)
+
+// Decode parses wire bytes into a Packet, validating structure and the IPv4
+// checksum. Unknown transport protocols decode with the remainder as
+// payload and all transport layers nil.
+func Decode(b []byte) (*Packet, error) {
+	if len(b) < IPv4HeaderLen {
+		return nil, errShort
+	}
+	if b[0]>>4 != 4 {
+		return nil, errBadVersion
+	}
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if total != len(b) {
+		return nil, errBadLen
+	}
+	if internetChecksum(b[:IPv4HeaderLen]) != 0 {
+		return nil, errChecksum
+	}
+	p := &Packet{IP: IPv4{
+		TTL:      b[8],
+		Protocol: Proto(b[9]),
+		ID:       binary.BigEndian.Uint16(b[4:6]),
+		Src:      Addr(binary.BigEndian.Uint32(b[12:16])),
+		Dst:      Addr(binary.BigEndian.Uint32(b[16:20])),
+		TotalLen: uint16(total),
+	}}
+	rest := b[IPv4HeaderLen:]
+	switch p.IP.Protocol {
+	case ProtoUDP:
+		if len(rest) < UDPHeaderLen {
+			return nil, errShort
+		}
+		u := &UDP{
+			SrcPort: binary.BigEndian.Uint16(rest[0:2]),
+			DstPort: binary.BigEndian.Uint16(rest[2:4]),
+			Length:  binary.BigEndian.Uint16(rest[4:6]),
+		}
+		if int(u.Length) != len(rest) {
+			return nil, errBadLen
+		}
+		p.UDP = u
+		p.Payload = append([]byte(nil), rest[UDPHeaderLen:]...)
+	case ProtoTCP:
+		if len(rest) < TCPHeaderLen {
+			return nil, errShort
+		}
+		p.TCP = &TCP{
+			SrcPort: binary.BigEndian.Uint16(rest[0:2]),
+			DstPort: binary.BigEndian.Uint16(rest[2:4]),
+			Seq:     binary.BigEndian.Uint32(rest[4:8]),
+			Ack:     binary.BigEndian.Uint32(rest[8:12]),
+			Flags:   rest[13],
+			Window:  binary.BigEndian.Uint16(rest[14:16]),
+		}
+		p.Payload = append([]byte(nil), rest[TCPHeaderLen:]...)
+	case ProtoICMP:
+		if len(rest) < ICMPHeaderLen {
+			return nil, errShort
+		}
+		p.ICMP = &ICMP{
+			Type: rest[0],
+			Code: rest[1],
+			ID:   binary.BigEndian.Uint16(rest[4:6]),
+			Seq:  binary.BigEndian.Uint16(rest[6:8]),
+		}
+		p.Payload = append([]byte(nil), rest[ICMPHeaderLen:]...)
+	default:
+		p.Payload = append([]byte(nil), rest...)
+	}
+	return p, nil
+}
+
+// Endpoint is one side of a flow: an address/port pair. It is comparable and
+// therefore usable as a map key, following the gopacket Endpoint design.
+type Endpoint struct {
+	Addr Addr
+	Port uint16
+}
+
+func (e Endpoint) String() string { return fmt.Sprintf("%v:%d", e.Addr, e.Port) }
+
+// Flow identifies a unidirectional transport conversation.
+type Flow struct {
+	Proto    Proto
+	Src, Dst Endpoint
+}
+
+// FlowOf extracts the flow of a decoded packet. ICMP and unknown transports
+// yield port-zero endpoints.
+func FlowOf(p *Packet) Flow {
+	f := Flow{Proto: p.IP.Protocol, Src: Endpoint{Addr: p.IP.Src}, Dst: Endpoint{Addr: p.IP.Dst}}
+	switch {
+	case p.UDP != nil:
+		f.Src.Port, f.Dst.Port = p.UDP.SrcPort, p.UDP.DstPort
+	case p.TCP != nil:
+		f.Src.Port, f.Dst.Port = p.TCP.SrcPort, p.TCP.DstPort
+	}
+	return f
+}
+
+// Reverse returns the opposite direction of the flow.
+func (f Flow) Reverse() Flow {
+	return Flow{Proto: f.Proto, Src: f.Dst, Dst: f.Src}
+}
+
+// FastHash returns a symmetric (direction-independent) non-cryptographic
+// hash: A→B and B→A hash identically, as in gopacket, so both directions of
+// a conversation land in the same bucket.
+func (f Flow) FastHash() uint64 {
+	a := uint64(f.Src.Addr)<<16 | uint64(f.Src.Port)
+	b := uint64(f.Dst.Addr)<<16 | uint64(f.Dst.Port)
+	if a > b {
+		a, b = b, a
+	}
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(a)
+	mix(b)
+	mix(uint64(f.Proto))
+	return h
+}
+
+func (f Flow) String() string {
+	return fmt.Sprintf("%v %v->%v", f.Proto, f.Src, f.Dst)
+}

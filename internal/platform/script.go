@@ -1,0 +1,97 @@
+package platform
+
+import (
+	"time"
+
+	"github.com/svrlab/svrlab/internal/avatar"
+	"github.com/svrlab/svrlab/internal/world"
+)
+
+// Script is a timed client-action sequence — the lab's substitute for the
+// Oculus AutoDriver tool the paper extends for large-scale crowd-sourced
+// experiments (§9): deterministic input playback against a client.
+type Script struct {
+	client  *Client
+	actions []scriptAction
+	cursor  time.Duration
+}
+
+type scriptAction struct {
+	at time.Duration
+	do func(*Client)
+}
+
+// NewScript starts a script for a client.
+func NewScript(c *Client) *Script { return &Script{client: c} }
+
+// At moves the script cursor to an absolute time.
+func (s *Script) At(t time.Duration) *Script {
+	s.cursor = t
+	return s
+}
+
+// After advances the cursor relative to the previous action.
+func (s *Script) After(d time.Duration) *Script {
+	s.cursor += d
+	return s
+}
+
+func (s *Script) add(do func(*Client)) *Script {
+	s.actions = append(s.actions, scriptAction{at: s.cursor, do: do})
+	return s
+}
+
+// Launch starts the app at the cursor time.
+func (s *Script) Launch() *Script { return s.add(func(c *Client) { c.Launch() }) }
+
+// Join enters an event.
+func (s *Script) Join(room string) *Script {
+	return s.add(func(c *Client) { c.JoinEvent(room) })
+}
+
+// Stand pins the avatar's pose.
+func (s *Script) Stand(pos world.Vec2, yaw float64) *Script {
+	return s.add(func(c *Client) { c.StandAt(pos, yaw) })
+}
+
+// Turn snap-turns by controller clicks.
+func (s *Script) Turn(clicks int) *Script {
+	return s.add(func(c *Client) { c.Turn(clicks) })
+}
+
+// Gesture performs a controller gesture.
+func (s *Script) Gesture(g avatar.Gesture) *Script {
+	return s.add(func(c *Client) { c.PerformGesture(g) })
+}
+
+// Game toggles the shooting-game mode.
+func (s *Script) Game(on bool) *Script {
+	return s.add(func(c *Client) { c.SetGame(on) })
+}
+
+// Act triggers a marked latency-rig action.
+func (s *Script) Act(onID func(uint32)) *Script {
+	return s.add(func(c *Client) {
+		id := c.PerformAction()
+		if onID != nil {
+			onID(id)
+		}
+	})
+}
+
+// Leave exits the event.
+func (s *Script) Leave() *Script { return s.add(func(c *Client) { c.Leave() }) }
+
+// Schedule installs every action on the client's scheduler and returns the
+// time of the last action.
+func (s *Script) Schedule() time.Duration {
+	var last time.Duration
+	for _, a := range s.actions {
+		a := a
+		s.client.Dep.Sched.At(a.at, func() { a.do(s.client) })
+		if a.at > last {
+			last = a.at
+		}
+	}
+	return last
+}

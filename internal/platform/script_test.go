@@ -1,0 +1,84 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"github.com/svrlab/svrlab/internal/avatar"
+	"github.com/svrlab/svrlab/internal/capture"
+	"github.com/svrlab/svrlab/internal/packet"
+	"github.com/svrlab/svrlab/internal/simtime"
+	"github.com/svrlab/svrlab/internal/world"
+)
+
+func TestScriptDrivesFullSession(t *testing.T) {
+	sched := simtime.NewScheduler()
+	dep := NewDeployment(sched, 201)
+	u1 := NewClient(dep, VRChat, "s1", SiteCampus, 10)
+	u2 := NewClient(dep, VRChat, "s2", SiteCampus, 11)
+	u1.Muted, u2.Muted = true, true
+
+	var actionID uint32
+	last := NewScript(u1).
+		At(0).Launch().
+		At(time.Second).Join("scripted").
+		After(time.Second).Stand(world.Vec2{X: 5, Y: 5}, 90).
+		After(3 * time.Second).Turn(4).
+		After(time.Second).Gesture(avatar.GestureWave).
+		After(5 * time.Second).Act(func(id uint32) { actionID = id }).
+		Schedule()
+	NewScript(u2).
+		At(0).Launch().
+		At(time.Second).Join("scripted").
+		Schedule()
+
+	if last != 11*time.Second {
+		t.Fatalf("last action at %v, want 11s", last)
+	}
+	sched.RunUntil(last + 5*time.Second)
+
+	// The stand+turn choreography applied: 90° + 4×22.5° = 180°.
+	if got := u1.PoseNow(); got.Yaw != 180 || got.Pos != (world.Vec2{X: 5, Y: 5}) {
+		t.Fatalf("pose = %+v", got)
+	}
+	if actionID == 0 {
+		t.Fatal("Act did not fire")
+	}
+	if !dep.Trace(actionID).Receiver("s2").Displayed {
+		t.Fatal("scripted action never displayed at the peer")
+	}
+}
+
+func TestScriptLeaveStopsSession(t *testing.T) {
+	sched := simtime.NewScheduler()
+	dep := NewDeployment(sched, 202)
+	u1 := NewClient(dep, RecRoom, "l1", SiteCampus, 10)
+	u2 := NewClient(dep, RecRoom, "l2", SiteCampus, 11)
+	u1.Muted, u2.Muted = true, true
+	NewScript(u1).At(0).Launch().At(time.Second).Join("bye").At(10 * time.Second).Leave().Schedule()
+	NewScript(u2).At(0).Launch().At(time.Second).Join("bye").Schedule()
+	sched.RunUntil(12 * time.Second)
+	before := u2.ForwardsReceived
+	sched.RunUntil(20 * time.Second)
+	if u2.ForwardsReceived > before+5 {
+		t.Fatalf("forwards kept flowing after scripted leave: %d -> %d", before, u2.ForwardsReceived)
+	}
+}
+
+func TestScriptGameMode(t *testing.T) {
+	sched := simtime.NewScheduler()
+	dep := NewDeployment(sched, 203)
+	u1 := NewClient(dep, Worlds, "g1", SiteCampus, 10)
+	u2 := NewClient(dep, Worlds, "g2", SiteCampus, 11)
+	u1.Muted, u2.Muted = true, true
+	NewScript(u1).At(0).Launch().At(time.Second).Join("game").At(10 * time.Second).Game(true).Schedule()
+	NewScript(u2).At(0).Launch().At(time.Second).Join("game").Schedule()
+	sniff := capture.Attach(u1.Host)
+	sched.RunUntil(16 * time.Second)
+	udpUp := capture.MatchUp(capture.FilterProto(packet.ProtoUDP))
+	base := sniff.MeanBps(udpUp, 5*time.Second, 9*time.Second)
+	game := sniff.MeanBps(udpUp, 12*time.Second, 16*time.Second)
+	if game < base*1.2 {
+		t.Fatalf("game mode did not raise UDP uplink: %.0f -> %.0f bps", base, game)
+	}
+}

@@ -1,0 +1,161 @@
+// Package plot renders time series as ASCII line charts so the figure
+// experiments produce artifacts that read like the paper's figures in a
+// terminal: multiple labelled series, a y-axis with units, and x-axis event
+// markers (user joins, disruption stage boundaries).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/svrlab/svrlab/internal/stats"
+)
+
+// Series is one labelled line.
+type Series struct {
+	Label  string
+	Data   stats.TimeSeries
+	Symbol byte // plotted glyph, e.g. '*', '+', 'o'
+}
+
+// Marker is a labelled vertical event line.
+type Marker struct {
+	At    time.Duration
+	Label string
+}
+
+// Chart is an ASCII line chart.
+type Chart struct {
+	Title   string
+	YUnit   string
+	YScale  float64 // divide values by this before display (e.g. 1000 for kbps)
+	Width   int     // plot columns (default 72)
+	Height  int     // plot rows (default 12)
+	Series  []Series
+	Markers []Marker
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	width := c.Width
+	if width <= 0 {
+		width = 72
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 12
+	}
+	scale := c.YScale
+	if scale == 0 {
+		scale = 1
+	}
+
+	// Time extent across all series.
+	var tMin, tMax time.Duration
+	first := true
+	for _, s := range c.Series {
+		if len(s.Data.Values) == 0 {
+			continue
+		}
+		end := s.Data.Start + time.Duration(len(s.Data.Values))*s.Data.Step
+		if first {
+			tMin, tMax = s.Data.Start, end
+			first = false
+			continue
+		}
+		if s.Data.Start < tMin {
+			tMin = s.Data.Start
+		}
+		if end > tMax {
+			tMax = end
+		}
+	}
+	if first || tMax <= tMin {
+		return c.Title + "\n(no data)\n"
+	}
+
+	// Value extent.
+	vMax := 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Data.Values {
+			if v/scale > vMax {
+				vMax = v / scale
+			}
+		}
+	}
+	if vMax == 0 {
+		vMax = 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+
+	// Markers first, so series overdraw them.
+	for _, m := range c.Markers {
+		col := int(float64(m.At-tMin) / float64(tMax-tMin) * float64(width-1))
+		if col < 0 || col >= width {
+			continue
+		}
+		for row := 0; row < height; row++ {
+			grid[row][col] = '|'
+		}
+	}
+
+	// Sample each series per column.
+	for _, s := range c.Series {
+		sym := s.Symbol
+		if sym == 0 {
+			sym = '*'
+		}
+		for col := 0; col < width; col++ {
+			t := tMin + time.Duration(float64(tMax-tMin)*float64(col)/float64(width-1))
+			v := s.Data.At(t) / scale
+			if v <= 0 {
+				continue
+			}
+			row := height - 1 - int(math.Round(v/vMax*float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = sym
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	for row := 0; row < height; row++ {
+		val := vMax * float64(height-1-row) / float64(height-1)
+		fmt.Fprintf(&b, "%8.1f %s┤%s\n", val, c.YUnit, string(grid[row]))
+	}
+	// X axis.
+	fmt.Fprintf(&b, "%8s  └%s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%8s   %-*.0f%*.0fs\n", "", width/2, tMin.Seconds(), width/2, tMax.Seconds())
+	// Legend.
+	var legend []string
+	for _, s := range c.Series {
+		sym := s.Symbol
+		if sym == 0 {
+			sym = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", sym, s.Label))
+	}
+	for _, m := range c.Markers {
+		if m.Label != "" {
+			legend = append(legend, fmt.Sprintf("| %s@%.0fs", m.Label, m.At.Seconds()))
+		}
+	}
+	if len(legend) > 0 {
+		b.WriteString("          " + strings.Join(legend, "   ") + "\n")
+	}
+	return b.String()
+}

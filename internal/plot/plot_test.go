@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/svrlab/svrlab/internal/stats"
+)
+
+func series(vals ...float64) stats.TimeSeries {
+	return stats.TimeSeries{Start: 0, Step: time.Second, Values: vals}
+}
+
+func TestChartRendersSeriesAndLegend(t *testing.T) {
+	c := &Chart{
+		Title:  "test chart",
+		YUnit:  "kbps",
+		YScale: 1000,
+		Width:  40,
+		Height: 8,
+		Series: []Series{
+			{Label: "up", Symbol: '+', Data: series(1000, 2000, 3000, 4000, 5000)},
+			{Label: "down", Symbol: 'o', Data: series(5000, 4000, 3000, 2000, 1000)},
+		},
+		Markers: []Marker{{At: 2 * time.Second, Label: "join"}},
+	}
+	out := c.Render()
+	for _, want := range []string{"test chart", "+ up", "o down", "join@2s", "kbps", "|"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Both glyphs plotted.
+	if !strings.Contains(out, "+") || !strings.Contains(out, "o") {
+		t.Fatalf("glyphs missing:\n%s", out)
+	}
+	// Y axis max reflects scaled peak (5.0 kbps).
+	if !strings.Contains(out, "5.0") {
+		t.Fatalf("y-axis max missing:\n%s", out)
+	}
+}
+
+func TestChartHandlesEmptyData(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	out := c.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+	c2 := &Chart{Series: []Series{{Label: "x", Data: stats.TimeSeries{}}}}
+	if out := c2.Render(); !strings.Contains(out, "(no data)") {
+		t.Fatalf("zero-length series output: %q", out)
+	}
+}
+
+func TestChartAllZeroValues(t *testing.T) {
+	c := &Chart{Series: []Series{{Label: "flat", Data: series(0, 0, 0, 0)}}}
+	out := c.Render()
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Fatalf("zero-value chart broken:\n%s", out)
+	}
+}
+
+func TestChartGeometryStable(t *testing.T) {
+	c := &Chart{
+		Width: 30, Height: 6,
+		Series: []Series{{Label: "s", Data: series(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)}},
+	}
+	out := c.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 6 plot rows + axis + x labels + legend.
+	if len(lines) != 9 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Peak (10) must appear on the top plot row; a monotone-increasing
+	// series puts its rightmost glyph above its leftmost.
+	if !strings.Contains(lines[0], "*") {
+		t.Fatalf("peak not on top row:\n%s", out)
+	}
+	topIdx := strings.LastIndexByte(lines[0], '*')
+	var bottomIdx int
+	for row := 5; row >= 0; row-- {
+		if i := strings.IndexByte(lines[row], '*'); i >= 0 {
+			bottomIdx = i
+			break
+		}
+	}
+	if bottomIdx >= topIdx {
+		t.Fatalf("increasing series not rising left-to-right:\n%s", out)
+	}
+}

@@ -1,0 +1,150 @@
+// Package rtpx provides the WebRTC-voice equivalent used by the Mozilla Hubs
+// model: Opus-like RTP streams over UDP with RTCP sender/receiver reports.
+// The RTCP report exchange yields the RTT estimate that the paper obtained
+// from chrome://webrtc-internals (RTCIceCandidatePairStats, §4.2).
+package rtpx
+
+import (
+	"time"
+
+	"github.com/svrlab/svrlab/internal/packet"
+	"github.com/svrlab/svrlab/internal/simtime"
+	"github.com/svrlab/svrlab/internal/transport"
+)
+
+// Opus voice parameters: 20 ms frames at a conversational bitrate.
+const (
+	VoiceFrameInterval = 20 * time.Millisecond
+	VoicePayloadBytes  = 80 // ≈32 kbit/s Opus
+	rtcpInterval       = time.Second
+)
+
+// compactNTP converts simulation time to the middle 32 bits of an NTP
+// timestamp (16.16 fixed-point seconds), as RTCP uses.
+func compactNTP(t time.Duration) uint32 {
+	return uint32(t.Seconds() * 65536)
+}
+
+func fromCompactNTP(v uint32) time.Duration {
+	return time.Duration(float64(v) / 65536 * float64(time.Second))
+}
+
+// Stream is one bidirectional voice endpoint: it sends an RTP stream to a
+// remote endpoint (unless muted) and answers RTCP.
+type Stream struct {
+	sched  *simtime.Scheduler
+	sock   *transport.UDPSocket
+	remote packet.Endpoint
+
+	SSRC  uint32
+	seq   uint16
+	ts    uint32
+	muted bool
+
+	stopTick func()
+
+	// lastSRArrival records (LSR, arrival time) of the most recent sender
+	// report, to fill DLSR in our receiver reports.
+	lastSR        uint32
+	lastSRArrival time.Duration
+
+	// RTT is the latest RTCP-derived estimate (0 until measured).
+	RTT time.Duration
+	// RTTSamples collects every RTT measurement.
+	RTTSamples []time.Duration
+
+	// OnVoice receives decoded voice payloads from the remote.
+	OnVoice func(seq uint16, payload []byte)
+
+	VoiceSent, VoiceRecv int
+}
+
+// NewStream binds a voice stream on sock toward remote. The caller retains
+// sock ownership; the stream installs itself as the receive handler.
+func NewStream(sched *simtime.Scheduler, sock *transport.UDPSocket, remote packet.Endpoint, ssrc uint32, muted bool) *Stream {
+	st := &Stream{sched: sched, sock: sock, remote: remote, SSRC: ssrc, muted: muted}
+	sock.OnRecv = func(src packet.Endpoint, payload []byte) { st.onPacket(payload) }
+	st.stopTick = sched.Ticker(VoiceFrameInterval, st.tick)
+	sched.Ticker(rtcpInterval, st.sendSR)
+	return st
+}
+
+// SetMuted toggles voice emission. RTCP keeps flowing while muted, exactly
+// like a muted WebRTC track.
+func (s *Stream) SetMuted(m bool) { s.muted = m }
+
+// Muted reports the mute state.
+func (s *Stream) Muted() bool { return s.muted }
+
+func (s *Stream) tick() {
+	if s.muted {
+		return
+	}
+	s.seq++
+	s.ts += 960 // 48 kHz * 20 ms
+	payload := make([]byte, VoicePayloadBytes)
+	b := packet.MarshalRTP(packet.RTPHeader{
+		PayloadType: packet.RTPPayloadOpus,
+		Seq:         s.seq,
+		Timestamp:   s.ts,
+		SSRC:        s.SSRC,
+	}, payload)
+	s.sock.SendTo(s.remote, b)
+	s.VoiceSent++
+}
+
+func (s *Stream) sendSR() {
+	sr := packet.MarshalRTCP(packet.RTCPPacket{
+		Type: packet.RTCPSenderReport,
+		SSRC: s.SSRC,
+		LSR:  compactNTP(s.sched.Now()),
+	})
+	s.sock.SendTo(s.remote, sr)
+}
+
+func (s *Stream) onPacket(b []byte) {
+	if packet.IsRTCP(b) {
+		rep, err := packet.DecodeRTCP(b)
+		if err != nil {
+			return
+		}
+		switch rep.Type {
+		case packet.RTCPSenderReport:
+			// Remember it; echo back an RR with our DLSR.
+			s.lastSR = rep.LSR
+			s.lastSRArrival = s.sched.Now()
+			dlsr := compactNTP(s.sched.Now() - s.lastSRArrival) // 0 here; kept explicit
+			rr := packet.MarshalRTCP(packet.RTCPPacket{
+				Type: packet.RTCPReceiverReport,
+				SSRC: s.SSRC,
+				LSR:  rep.LSR,
+				DLSR: dlsr,
+			})
+			s.sock.SendTo(s.remote, rr)
+		case packet.RTCPReceiverReport:
+			// RTT = now - LSR - DLSR.
+			rtt := s.sched.Now() - fromCompactNTP(rep.LSR) - fromCompactNTP(rep.DLSR)
+			if rtt > 0 {
+				s.RTT = rtt
+				s.RTTSamples = append(s.RTTSamples, rtt)
+			}
+		}
+		return
+	}
+	h, payload, err := packet.DecodeRTP(b)
+	if err != nil {
+		return
+	}
+	s.VoiceRecv++
+	if s.OnVoice != nil {
+		s.OnVoice(h.Seq, payload)
+	}
+}
+
+// Close stops the stream's tickers.
+func (s *Stream) Close() {
+	if s.stopTick != nil {
+		s.stopTick()
+		s.stopTick = nil
+	}
+}

@@ -1,0 +1,223 @@
+// Package secure implements the TLS-equivalent session layer used by every
+// control channel in the lab (the paper's "HTTPS"). It performs a handshake
+// with realistic byte costs over a transport.Conn and thereafter frames
+// application data into records with AEAD expansion, so captured HTTPS
+// traffic carries the same protocol overhead the paper measured (one reason
+// Hubs' avatar channel costs more than UDP-based ones, §5.2).
+package secure
+
+import (
+	"encoding/binary"
+
+	"github.com/svrlab/svrlab/internal/packet"
+	"github.com/svrlab/svrlab/internal/transport"
+)
+
+// Handshake message sizes, modelled on a typical TLS 1.3 exchange with a
+// 2-certificate chain.
+const (
+	clientHelloLen    = 330
+	serverHelloLen    = 2900 // hello + cert chain + finished
+	clientFinishedLen = 90
+)
+
+// Session is one side of an established (or establishing) secure channel.
+type Session struct {
+	conn   *transport.Conn
+	client bool
+	ready  bool
+
+	// OnEstablished fires when the handshake completes.
+	OnEstablished func()
+	// OnData receives defragmented application record bodies.
+	OnData func([]byte)
+
+	rxBuf []byte
+
+	// queued application data written before the handshake finished.
+	pending [][]byte
+
+	// Counters.
+	AppBytesSent int
+	AppBytesRecv int
+}
+
+// Client starts a TLS handshake on an already-dialed connection.
+func Client(conn *transport.Conn) *Session {
+	s := &Session{conn: conn, client: true}
+	conn.OnData = s.onRaw
+	start := func() {
+		hello := make([]byte, clientHelloLen)
+		hello[0] = 1 // ClientHello type marker inside the record body
+		conn.Send(packet.MarshalTLSRecord(packet.TLSHandshake, hello))
+	}
+	if conn.State() == transport.StateEstablished {
+		start()
+	} else {
+		prev := conn.OnEstablished
+		conn.OnEstablished = func() {
+			if prev != nil {
+				prev()
+			}
+			start()
+		}
+	}
+	return s
+}
+
+// Server wraps an accepted connection and answers the client handshake.
+func Server(conn *transport.Conn) *Session {
+	s := &Session{conn: conn}
+	conn.OnData = s.onRaw
+	return s
+}
+
+// Established reports whether application data can flow.
+func (s *Session) Established() bool { return s.ready }
+
+// Conn exposes the underlying transport connection (for drain hooks).
+func (s *Session) Conn() *transport.Conn { return s.conn }
+
+// Send transmits application bytes as one or more records. Data written
+// before the handshake completes is queued and flushed on establishment.
+func (s *Session) Send(data []byte) {
+	if !s.ready {
+		s.pending = append(s.pending, append([]byte(nil), data...))
+		return
+	}
+	s.sendNow(data)
+}
+
+func (s *Session) sendNow(data []byte) {
+	const maxRecord = 4096
+	for len(data) > 0 {
+		n := len(data)
+		if n > maxRecord {
+			n = maxRecord
+		}
+		s.conn.Send(packet.MarshalTLSRecord(packet.TLSApplicationData, data[:n]))
+		s.AppBytesSent += n
+		data = data[n:]
+	}
+}
+
+func (s *Session) flushPending() {
+	for _, d := range s.pending {
+		s.sendNow(d)
+	}
+	s.pending = nil
+}
+
+// onRaw reassembles records from the TCP byte stream.
+func (s *Session) onRaw(b []byte) {
+	s.rxBuf = append(s.rxBuf, b...)
+	for {
+		rec, body, rest, err := packet.DecodeTLSRecord(s.rxBuf)
+		if err != nil {
+			return // need more bytes
+		}
+		// Consume exactly one record.
+		consumed := len(s.rxBuf) - len(rest)
+		s.rxBuf = s.rxBuf[consumed:]
+		switch rec.ContentType {
+		case packet.TLSHandshake:
+			s.onHandshake(body)
+		case packet.TLSApplicationData:
+			s.AppBytesRecv += len(body)
+			if s.OnData != nil {
+				s.OnData(append([]byte(nil), body...))
+			}
+		}
+	}
+}
+
+func (s *Session) onHandshake(body []byte) {
+	if s.client {
+		// ServerHello+cert received: send Finished, session is up.
+		if !s.ready {
+			fin := make([]byte, clientFinishedLen)
+			fin[0] = 20
+			s.conn.Send(packet.MarshalTLSRecord(packet.TLSHandshake, fin))
+			s.ready = true
+			if s.OnEstablished != nil {
+				s.OnEstablished()
+			}
+			s.flushPending()
+		}
+		return
+	}
+	// Server side.
+	if len(body) > 0 && body[0] == 1 { // ClientHello
+		reply := make([]byte, serverHelloLen)
+		reply[0] = 2
+		s.conn.Send(packet.MarshalTLSRecord(packet.TLSHandshake, reply))
+		return
+	}
+	if len(body) > 0 && body[0] == 20 { // client Finished
+		if !s.ready {
+			s.ready = true
+			if s.OnEstablished != nil {
+				s.OnEstablished()
+			}
+			s.flushPending()
+		}
+	}
+}
+
+// Message framing helpers: the lab's HTTP-equivalent exchanges
+// length-prefixed messages over a Session. A message is a 1-byte kind, a
+// 4-byte length, then the body — enough structure for request/response
+// matching and for the capture classifier to stay honest (it never reads
+// these plaintext bytes; they are "encrypted" on the wire).
+const msgHeaderLen = 5
+
+// Kind values for framed messages.
+const (
+	MsgRequest  = 1
+	MsgResponse = 2
+	MsgPush     = 3 // server-initiated (e.g. forwarded avatar state on Hubs)
+	MsgReport   = 4 // periodic client report (the §4.1 HTTPS spikes)
+)
+
+// MarshalMsg frames a message.
+func MarshalMsg(kind byte, body []byte) []byte {
+	out := make([]byte, msgHeaderLen+len(body))
+	out[0] = kind
+	binary.BigEndian.PutUint32(out[1:5], uint32(len(body)))
+	copy(out[msgHeaderLen:], body)
+	return out
+}
+
+// MsgReader incrementally parses framed messages from Session.OnData
+// deliveries (records may split or merge messages).
+type MsgReader struct {
+	buf    []byte
+	OnMsg  func(kind byte, body []byte)
+	MaxLen int // safety bound; 0 means 16 MB
+}
+
+// Feed appends bytes and dispatches every complete message.
+func (r *MsgReader) Feed(b []byte) {
+	r.buf = append(r.buf, b...)
+	limit := r.MaxLen
+	if limit == 0 {
+		limit = 16 << 20
+	}
+	for len(r.buf) >= msgHeaderLen {
+		n := int(binary.BigEndian.Uint32(r.buf[1:5]))
+		if n > limit {
+			// Corrupt stream; drop everything.
+			r.buf = nil
+			return
+		}
+		if len(r.buf) < msgHeaderLen+n {
+			return
+		}
+		kind := r.buf[0]
+		body := append([]byte(nil), r.buf[msgHeaderLen:msgHeaderLen+n]...)
+		r.buf = r.buf[msgHeaderLen+n:]
+		if r.OnMsg != nil {
+			r.OnMsg(kind, body)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package secure
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/svrlab/svrlab/internal/geo"
+	"github.com/svrlab/svrlab/internal/netsim"
+	"github.com/svrlab/svrlab/internal/packet"
+	"github.com/svrlab/svrlab/internal/simtime"
+	"github.com/svrlab/svrlab/internal/transport"
+)
+
+type rig struct {
+	s          *simtime.Scheduler
+	net        *netsim.Network
+	a, b       *netsim.Host
+	sa, sb     *transport.Stack
+	cli, srv   *Session
+	srvAccepts int
+	srvGot     bytes.Buffer // captures server app data from accept time
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	s := simtime.NewScheduler()
+	n := netsim.New(s, 3)
+	east := n.AddSite("east", geo.Fairfax, packet.MustParseAddr("10.0.0.1"))
+	a := n.AddHost("a", east, packet.MustParseAddr("10.0.0.2"), netsim.WiFiAccess())
+	b := n.AddHost("b", east, packet.MustParseAddr("10.0.0.3"), netsim.DatacenterAccess())
+	r := &rig{s: s, net: n, a: a, b: b, sa: transport.NewStack(n, a), sb: transport.NewStack(n, b)}
+	r.sb.ListenTCP(443, func(c *transport.Conn) {
+		r.srvAccepts++
+		r.srv = Server(c)
+		r.srv.OnData = func(b []byte) { r.srvGot.Write(b) }
+	})
+	conn := r.sa.DialTCP(packet.Endpoint{Addr: b.Addr, Port: 443})
+	r.cli = Client(conn)
+	return r
+}
+
+func TestHandshakeEstablishesBothSides(t *testing.T) {
+	r := newRig(t)
+	cliUp, srvUp := false, false
+	r.cli.OnEstablished = func() { cliUp = true }
+	// Server session is created on accept; poll after run.
+	r.s.RunUntil(2 * time.Second)
+	if r.srv == nil {
+		t.Fatal("server session never created")
+	}
+	r.srv.OnEstablished = func() { srvUp = true }
+	r.s.RunUntil(5 * time.Second)
+	if !cliUp {
+		t.Fatal("client not established")
+	}
+	if !r.cli.Established() {
+		t.Fatal("client Established() = false")
+	}
+	// srvUp may have fired before we attached; accept either signal.
+	if !srvUp && !r.srv.Established() {
+		t.Fatal("server not established")
+	}
+	if r.srvAccepts != 1 {
+		t.Fatalf("accepts = %d", r.srvAccepts)
+	}
+}
+
+func TestApplicationDataRoundTrip(t *testing.T) {
+	r := newRig(t)
+	var atServer, atClient bytes.Buffer
+	r.s.RunUntil(2 * time.Second)
+	if r.srv == nil {
+		t.Fatal("no server session")
+	}
+	r.srv.OnData = func(b []byte) { atServer.Write(b) }
+	r.cli.OnData = func(b []byte) { atClient.Write(b) }
+	r.cli.Send([]byte("GET /welcome"))
+	r.s.RunUntil(4 * time.Second)
+	r.srv.Send([]byte("200 OK payload"))
+	r.s.RunUntil(8 * time.Second)
+	if atServer.String() != "GET /welcome" {
+		t.Fatalf("server got %q", atServer.String())
+	}
+	if atClient.String() != "200 OK payload" {
+		t.Fatalf("client got %q", atClient.String())
+	}
+	if r.cli.AppBytesSent != len("GET /welcome") || r.srv.AppBytesRecv != len("GET /welcome") {
+		t.Fatalf("app byte counters wrong: %d/%d", r.cli.AppBytesSent, r.srv.AppBytesRecv)
+	}
+}
+
+func TestSendBeforeEstablishedIsQueued(t *testing.T) {
+	r := newRig(t)
+	// Send immediately, before any events have run.
+	r.cli.Send([]byte("eager"))
+	r.s.RunUntil(5 * time.Second)
+	if r.srvGot.String() != "eager" {
+		t.Fatalf("server got %q, want queued pre-handshake data", r.srvGot.String())
+	}
+}
+
+func TestLargePayloadSplitsIntoRecords(t *testing.T) {
+	r := newRig(t)
+	var atServer bytes.Buffer
+	r.s.RunUntil(2 * time.Second)
+	r.srv.OnData = func(b []byte) { atServer.Write(b) }
+	big := bytes.Repeat([]byte("abc"), 10000) // 30 KB
+	r.cli.Send(big)
+	r.s.RunUntil(30 * time.Second)
+	if !bytes.Equal(atServer.Bytes(), big) {
+		t.Fatalf("received %d/%d bytes", atServer.Len(), len(big))
+	}
+}
+
+func TestMsgFramingRoundTrip(t *testing.T) {
+	var got []struct {
+		kind byte
+		body []byte
+	}
+	r := &MsgReader{OnMsg: func(kind byte, body []byte) {
+		got = append(got, struct {
+			kind byte
+			body []byte
+		}{kind, body})
+	}}
+	buf := append(MarshalMsg(MsgRequest, []byte("req")), MarshalMsg(MsgPush, []byte("push-body"))...)
+	// Feed in awkward chunks to exercise reassembly.
+	for i := 0; i < len(buf); i += 3 {
+		end := i + 3
+		if end > len(buf) {
+			end = len(buf)
+		}
+		r.Feed(buf[i:end])
+	}
+	if len(got) != 2 {
+		t.Fatalf("messages = %d, want 2", len(got))
+	}
+	if got[0].kind != MsgRequest || string(got[0].body) != "req" {
+		t.Fatalf("msg0 = %+v", got[0])
+	}
+	if got[1].kind != MsgPush || string(got[1].body) != "push-body" {
+		t.Fatalf("msg1 = %+v", got[1])
+	}
+}
+
+func TestMsgReaderRejectsOversize(t *testing.T) {
+	r := &MsgReader{MaxLen: 10, OnMsg: func(byte, []byte) { t.Fatal("oversize message delivered") }}
+	r.Feed(MarshalMsg(MsgRequest, make([]byte, 100)))
+	// Buffer should be discarded; feeding a valid message afterwards works.
+	delivered := false
+	r.OnMsg = func(byte, []byte) { delivered = true }
+	r.Feed(MarshalMsg(MsgRequest, []byte("ok")))
+	if !delivered {
+		t.Fatal("reader did not recover after oversize drop")
+	}
+}
+
+func TestPropertyMsgFramingAnyChunking(t *testing.T) {
+	f := func(bodies [][]byte, chunk uint8) bool {
+		if len(bodies) > 8 {
+			bodies = bodies[:8]
+		}
+		var wire []byte
+		for _, b := range bodies {
+			if len(b) > 2000 {
+				b = b[:2000]
+			}
+			wire = append(wire, MarshalMsg(MsgPush, b)...)
+		}
+		var got [][]byte
+		r := &MsgReader{OnMsg: func(_ byte, body []byte) { got = append(got, body) }}
+		step := int(chunk%16) + 1
+		for i := 0; i < len(wire); i += step {
+			end := i + step
+			if end > len(wire) {
+				end = len(wire)
+			}
+			r.Feed(wire[i:end])
+		}
+		if len(got) != len(bodies) {
+			return false
+		}
+		for i := range got {
+			want := bodies[i]
+			if len(want) > 2000 {
+				want = want[:2000]
+			}
+			if !bytes.Equal(got[i], want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandshakeByteCostIsRealistic(t *testing.T) {
+	// The handshake alone should cost a few KB on the wire — this is what
+	// makes control-channel connections visibly bursty in Fig. 2.
+	r := newRig(t)
+	r.s.RunUntil(5 * time.Second)
+	total := r.a.SentBytes + r.a.RecvBytes
+	if total < 3000 {
+		t.Fatalf("handshake moved only %d bytes, want >3KB", total)
+	}
+	if total > 20000 {
+		t.Fatalf("handshake moved %d bytes, suspiciously many", total)
+	}
+}

@@ -1,0 +1,169 @@
+// Package stats provides the summary statistics used throughout the paper's
+// tables and figures: mean/standard deviation pairs ("the two numbers are the
+// average and standard deviation"), 95% confidence intervals (the bands in
+// Figures 7, 8, 9 and 11), percentiles, linear-trend fits (for the
+// "grows almost linearly" claims), and Pearson correlation (for matching U1's
+// uplink to U2's downlink in Figure 3).
+package stats
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary is a mean/σ/CI description of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	CI95   float64 // half-width of the 95% confidence interval of the mean
+	Median float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields the zero value.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+		// Normal approximation; with the paper's >=20 repeats the t and z
+		// quantiles differ by <5%.
+		s.CI95 = 1.96 * s.Std / math.Sqrt(float64(len(xs)))
+	}
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) using linear
+// interpolation. It copies and sorts the input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// LinearFit fits y = a + b*x by least squares and reports the coefficient of
+// determination R². Degenerate inputs (fewer than 2 points, zero x-variance)
+// return ok=false.
+func LinearFit(xs, ys []float64) (a, b, r2 float64, ok bool) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, 0, false
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, false
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		return a, b, 1, true
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return a, b, r2, true
+}
+
+// Pearson returns the correlation coefficient of two equal-length series, or
+// 0 if it is undefined.
+func Pearson(xs, ys []float64) float64 {
+	_, _, r2, ok := LinearFit(xs, ys)
+	if !ok {
+		return 0
+	}
+	_, b, _, _ := LinearFit(xs, ys)
+	r := math.Sqrt(r2)
+	if b < 0 {
+		return -r
+	}
+	return r
+}
+
+// TimeSeries is a sequence of (time, value) samples with a fixed bucket
+// width, as produced by throughput bucketing.
+type TimeSeries struct {
+	Start  time.Duration
+	Step   time.Duration
+	Values []float64
+}
+
+// At returns the value of the bucket containing t (0 outside the series).
+func (ts *TimeSeries) At(t time.Duration) float64 {
+	if ts.Step <= 0 {
+		return 0
+	}
+	i := int((t - ts.Start) / ts.Step)
+	if i < 0 || i >= len(ts.Values) {
+		return 0
+	}
+	return ts.Values[i]
+}
+
+// Window returns the values whose bucket start lies in [from, to).
+func (ts *TimeSeries) Window(from, to time.Duration) []float64 {
+	var out []float64
+	for i, v := range ts.Values {
+		t := ts.Start + time.Duration(i)*ts.Step
+		if t >= from && t < to {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// MeanInWindow averages the series over [from, to).
+func (ts *TimeSeries) MeanInWindow(from, to time.Duration) float64 {
+	w := ts.Window(from, to)
+	if len(w) == 0 {
+		return 0
+	}
+	return Summarize(w).Mean
+}

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if !almost(s.Mean, 5, 1e-9) {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	// Sample std of this classic set is ~2.138.
+	if !almost(s.Std, 2.13809, 1e-4) {
+		t.Fatalf("Std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if !almost(s.Median, 4.5, 1e-9) {
+		t.Fatalf("Median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.Std != 0 || s.CI95 != 0 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {105, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile != 0")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 3 + 2x
+	a, b, r2, ok := LinearFit(xs, ys)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if !almost(a, 3, 1e-9) || !almost(b, 2, 1e-9) || !almost(r2, 1, 1e-9) {
+		t.Fatalf("a=%v b=%v r2=%v", a, b, r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if _, _, _, ok := LinearFit([]float64{1}, []float64{2}); ok {
+		t.Fatal("fit on 1 point succeeded")
+	}
+	if _, _, _, ok := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); ok {
+		t.Fatal("fit on zero x-variance succeeded")
+	}
+	if _, _, _, ok := LinearFit([]float64{1, 2}, []float64{1}); ok {
+		t.Fatal("length mismatch accepted")
+	}
+	// Zero y-variance is a perfect horizontal fit.
+	a, b, r2, ok := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if !ok || !almost(a, 4, 1e-9) || !almost(b, 0, 1e-9) || r2 != 1 {
+		t.Fatalf("horizontal fit a=%v b=%v r2=%v ok=%v", a, b, r2, ok)
+	}
+}
+
+func TestPearsonSigns(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	up := []float64{2, 4, 6, 8, 10}
+	down := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(xs, up); !almost(r, 1, 1e-9) {
+		t.Fatalf("Pearson up = %v", r)
+	}
+	if r := Pearson(xs, down); !almost(r, -1, 1e-9) {
+		t.Fatalf("Pearson down = %v", r)
+	}
+	if r := Pearson(nil, nil); r != 0 {
+		t.Fatalf("Pearson empty = %v", r)
+	}
+}
+
+// Property: mean is within [min,max]; std >= 0; CI95 >= 0.
+func TestPropertySummaryInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		s := Summarize(xs)
+		if s.N == 0 {
+			return true
+		}
+		return s.Mean >= s.Min-1e-6 && s.Mean <= s.Max+1e-6 && s.Std >= 0 && s.CI95 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shifting data shifts the mean, keeps std.
+func TestPropertySummaryShiftInvariance(t *testing.T) {
+	f := func(raw []float64, shiftRaw float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		shift := math.Mod(shiftRaw, 1e6)
+		if math.IsNaN(shift) || math.IsInf(shift, 0) {
+			shift = 1
+		}
+		shifted := make([]float64, len(xs))
+		for i, v := range xs {
+			shifted[i] = v + shift
+		}
+		s1, s2 := Summarize(xs), Summarize(shifted)
+		return almost(s2.Mean, s1.Mean+shift, 1e-3) && almost(s2.Std, s1.Std, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSeriesAtAndWindow(t *testing.T) {
+	ts := &TimeSeries{Start: 10 * time.Second, Step: time.Second, Values: []float64{1, 2, 3, 4}}
+	if ts.At(10*time.Second) != 1 || ts.At(13*time.Second+500*time.Millisecond) != 4 {
+		t.Fatal("At lookup wrong")
+	}
+	if ts.At(9*time.Second) != 0 || ts.At(14*time.Second) != 0 {
+		t.Fatal("out-of-range At should be 0")
+	}
+	w := ts.Window(11*time.Second, 13*time.Second)
+	if len(w) != 2 || w[0] != 2 || w[1] != 3 {
+		t.Fatalf("Window = %v", w)
+	}
+	if m := ts.MeanInWindow(10*time.Second, 14*time.Second); !almost(m, 2.5, 1e-9) {
+		t.Fatalf("MeanInWindow = %v", m)
+	}
+	if m := ts.MeanInWindow(20*time.Second, 30*time.Second); m != 0 {
+		t.Fatalf("empty window mean = %v", m)
+	}
+}
+
+func TestTimeSeriesZeroStep(t *testing.T) {
+	ts := &TimeSeries{}
+	if ts.At(time.Second) != 0 {
+		t.Fatal("zero-step At should be 0")
+	}
+}

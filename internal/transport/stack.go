@@ -1,0 +1,146 @@
+// Package transport implements the endpoint transport layer over the netsim
+// fabric: a per-host demultiplexing stack, UDP sockets, and a Reno-style TCP
+// with a real handshake, retransmission, and congestion control.
+//
+// A real TCP matters here: the paper's §8 finding — Horizon Worlds blocks
+// its UDP uplink until outstanding TCP control data is acknowledged, so
+// netem-injected TCP delays punch equal-length holes in the UDP stream —
+// only reproduces if TCP acknowledgement timing emerges from actual
+// retransmission machinery.
+package transport
+
+import (
+	"fmt"
+
+	"github.com/svrlab/svrlab/internal/netsim"
+	"github.com/svrlab/svrlab/internal/packet"
+)
+
+// Stack binds to a host and demultiplexes inbound packets to sockets. It
+// also implements the host-level ICMP behaviours probes rely on: echo reply
+// and port-unreachable generation.
+type Stack struct {
+	Host *netsim.Host
+	Net  *netsim.Network
+
+	udp       map[uint16]*UDPSocket
+	listeners map[uint16]*Listener
+	conns     map[connKey]*Conn
+	nextPort  uint16
+
+	// ICMPHandler, when set, observes every inbound ICMP packet (probes).
+	ICMPHandler func(*packet.Packet)
+	// EchoReply controls whether the stack answers ICMP echo requests.
+	// Some real services block ICMP (the paper falls back to TCP ping);
+	// profiles disable this to force that fallback.
+	EchoReply bool
+}
+
+type connKey struct {
+	localPort uint16
+	remote    packet.Endpoint
+}
+
+// NewStack attaches a transport stack to a host.
+func NewStack(n *netsim.Network, h *netsim.Host) *Stack {
+	s := &Stack{
+		Host:      h,
+		Net:       n,
+		udp:       make(map[uint16]*UDPSocket),
+		listeners: make(map[uint16]*Listener),
+		conns:     make(map[connKey]*Conn),
+		nextPort:  33000,
+		EchoReply: true,
+	}
+	h.Handler = s.handle
+	return s
+}
+
+func (s *Stack) ephemeralPort() uint16 {
+	for {
+		s.nextPort++
+		if s.nextPort < 33000 {
+			s.nextPort = 33000
+		}
+		p := s.nextPort
+		if _, used := s.udp[p]; used {
+			continue
+		}
+		if _, used := s.listeners[p]; used {
+			continue
+		}
+		return p
+	}
+}
+
+func (s *Stack) handle(p *packet.Packet) {
+	switch p.IP.Protocol {
+	case packet.ProtoUDP:
+		if sock, ok := s.udp[p.UDP.DstPort]; ok {
+			src := packet.Endpoint{Addr: p.IP.Src, Port: p.UDP.SrcPort}
+			if sock.OnRecv != nil {
+				sock.OnRecv(src, p.Payload)
+			}
+			return
+		}
+		// Closed port: emit port unreachable (terminates traceroutes).
+		s.Net.SendICMPFromHost(s.Host, p, packet.ICMPDestUnreach, packet.ICMPPortUnreachTag)
+	case packet.ProtoTCP:
+		s.handleTCP(p)
+	case packet.ProtoICMP:
+		if p.ICMP.Type == packet.ICMPEchoRequest && s.EchoReply {
+			reply := &packet.Packet{
+				// Echo replies come from the pinged address, which for an
+				// anycast service is the shared service address.
+				IP:   packet.IPv4{Protocol: packet.ProtoICMP, Src: p.IP.Dst, Dst: p.IP.Src},
+				ICMP: &packet.ICMP{Type: packet.ICMPEchoReply, ID: p.ICMP.ID, Seq: p.ICMP.Seq},
+			}
+			s.Net.Send(s.Host, reply)
+			return
+		}
+		if s.ICMPHandler != nil {
+			s.ICMPHandler(p)
+		}
+	}
+}
+
+// UDPSocket is a bound datagram endpoint.
+type UDPSocket struct {
+	stack  *Stack
+	Port   uint16
+	OnRecv func(src packet.Endpoint, payload []byte)
+	closed bool
+}
+
+// BindUDP binds a UDP socket. Port 0 picks an ephemeral port.
+func (s *Stack) BindUDP(port uint16) (*UDPSocket, error) {
+	if port == 0 {
+		port = s.ephemeralPort()
+	}
+	if _, used := s.udp[port]; used {
+		return nil, fmt.Errorf("transport: UDP port %d in use on %s", port, s.Host.ID)
+	}
+	sock := &UDPSocket{stack: s, Port: port}
+	s.udp[port] = sock
+	return sock, nil
+}
+
+// SendTo transmits a datagram.
+func (u *UDPSocket) SendTo(dst packet.Endpoint, payload []byte) {
+	if u.closed {
+		return
+	}
+	u.stack.Net.Send(u.stack.Host, &packet.Packet{
+		IP:      packet.IPv4{Protocol: packet.ProtoUDP, Dst: dst.Addr},
+		UDP:     &packet.UDP{SrcPort: u.Port, DstPort: dst.Port},
+		Payload: payload,
+	})
+}
+
+// Close unbinds the socket.
+func (u *UDPSocket) Close() {
+	if !u.closed {
+		u.closed = true
+		delete(u.stack.udp, u.Port)
+	}
+}

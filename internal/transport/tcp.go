@@ -1,0 +1,513 @@
+package transport
+
+import (
+	"time"
+
+	"github.com/svrlab/svrlab/internal/packet"
+	"github.com/svrlab/svrlab/internal/simtime"
+)
+
+// MSS is the maximum TCP segment payload.
+const MSS = 1400
+
+// windowScale is the negotiated RFC 7323 window-scale factor: the 16-bit
+// wire window is interpreted ×8, allowing ~512 KB in flight (without it a
+// 70 ms coast-to-coast path would cap at ~7.5 Mbit/s and the §5.2 bulk
+// downloads would crawl).
+const windowScale = 8
+
+// TCP retransmission parameters (RFC 6298 flavoured).
+const (
+	minRTO     = 200 * time.Millisecond
+	initialRTO = 1 * time.Second
+	maxRTO     = 60 * time.Second
+	maxRetries = 10
+)
+
+// ConnState is the (simplified) TCP connection state.
+type ConnState int
+
+const (
+	StateClosed ConnState = iota
+	StateSynSent
+	StateSynReceived
+	StateEstablished
+)
+
+func (s ConnState) String() string {
+	switch s {
+	case StateSynSent:
+		return "syn-sent"
+	case StateSynReceived:
+		return "syn-received"
+	case StateEstablished:
+		return "established"
+	}
+	return "closed"
+}
+
+// Listener accepts inbound TCP connections on a port.
+type Listener struct {
+	Port     uint16
+	OnAccept func(*Conn)
+}
+
+// ListenTCP registers a listener.
+func (s *Stack) ListenTCP(port uint16, onAccept func(*Conn)) *Listener {
+	l := &Listener{Port: port, OnAccept: onAccept}
+	s.listeners[port] = l
+	return l
+}
+
+// Conn is one TCP connection endpoint.
+type Conn struct {
+	stack  *Stack
+	Local  packet.Endpoint
+	Remote packet.Endpoint
+
+	state ConnState
+
+	// Send side.
+	iss      uint32
+	sndUna   uint32 // oldest unacknowledged sequence
+	sndNxt   uint32 // next sequence to transmit
+	sendBuf  []byte // bytes [sndUna, sndUna+len) not yet fully acked
+	cwnd     float64
+	ssthresh float64
+	rwnd     uint32
+	dupAcks  int
+	retries  int
+
+	// NewReno fast recovery state.
+	inRecovery bool
+	recover    uint32 // sndNxt when loss was detected
+
+	// RTT estimation.
+	srtt, rttvar time.Duration
+	rto          time.Duration
+	// rttSeq/rttAt time one in-flight segment (Karn's rule: cleared on rtx).
+	rttSeq uint32
+	rttAt  time.Duration
+	timing bool
+
+	rtoTimer *simtime.Event
+
+	// Receive side.
+	rcvNxt uint32
+	ooo    map[uint32][]byte
+
+	// Callbacks.
+	OnData        func([]byte)
+	OnEstablished func()
+	OnClose       func(reason string)
+
+	// OnDrained fires whenever the last unacknowledged byte is cumulatively
+	// acked — the hook Horizon Worlds' UDP-gating logic uses.
+	OnDrained func()
+
+	// Counters for tests and analysis.
+	Retransmits int
+	DataSent    int
+	DataRecv    int
+}
+
+// State returns the connection state.
+func (c *Conn) State() ConnState { return c.state }
+
+// Unacked returns the number of bytes sent but not yet acknowledged.
+func (c *Conn) Unacked() int { return int(c.sndNxt - c.sndUna) }
+
+// Buffered returns bytes queued (acked-window excluded) awaiting transmit.
+func (c *Conn) Buffered() int { return len(c.sendBuf) }
+
+// DialTCP opens a connection to dst. The returned Conn is usable for Send
+// immediately: bytes queue until the handshake completes.
+func (s *Stack) DialTCP(dst packet.Endpoint) *Conn {
+	c := &Conn{
+		stack:    s,
+		Local:    packet.Endpoint{Addr: s.Host.Addr, Port: s.ephemeralPort()},
+		Remote:   dst,
+		state:    StateSynSent,
+		cwnd:     2 * MSS,
+		ssthresh: 64 * 1024,
+		rwnd:     65535 * windowScale,
+		rto:      initialRTO,
+		ooo:      make(map[uint32][]byte),
+	}
+	c.iss = uint32(s.Net.Rng.Int63())
+	c.sndUna, c.sndNxt = c.iss, c.iss
+	s.conns[connKey{c.Local.Port, dst}] = c
+	c.sendSeg(&packet.TCP{Flags: packet.FlagSYN, Seq: c.iss}, nil)
+	c.sndNxt++ // SYN consumes a sequence number
+	c.armRTO()
+	return c
+}
+
+func (s *Stack) handleTCP(p *packet.Packet) {
+	key := connKey{p.TCP.DstPort, packet.Endpoint{Addr: p.IP.Src, Port: p.TCP.SrcPort}}
+	if c, ok := s.conns[key]; ok {
+		c.receive(p)
+		return
+	}
+	// New connection?
+	if l, ok := s.listeners[p.TCP.DstPort]; ok && p.TCP.HasFlag(packet.FlagSYN) && !p.TCP.HasFlag(packet.FlagACK) {
+		c := &Conn{
+			stack: s,
+			// Answer from the address the client targeted: for anycast
+			// services this is the shared service address, not the
+			// instance's own — otherwise the client's handshake would
+			// never match its connection.
+			Local:    packet.Endpoint{Addr: p.IP.Dst, Port: p.TCP.DstPort},
+			Remote:   key.remote,
+			state:    StateSynReceived,
+			cwnd:     2 * MSS,
+			ssthresh: 64 * 1024,
+			rwnd:     65535 * windowScale,
+			rto:      initialRTO,
+			ooo:      make(map[uint32][]byte),
+			rcvNxt:   p.TCP.Seq + 1,
+		}
+		c.iss = uint32(s.Net.Rng.Int63())
+		c.sndUna, c.sndNxt = c.iss, c.iss
+		s.conns[key] = c
+		c.sendSeg(&packet.TCP{Flags: packet.FlagSYN | packet.FlagACK, Seq: c.iss, Ack: c.rcvNxt}, nil)
+		c.sndNxt++
+		c.armRTO()
+		if l.OnAccept != nil {
+			l.OnAccept(c)
+		}
+		return
+	}
+	// No listener: RST (silently ignore for simplicity).
+}
+
+func seqLT(a, b uint32) bool  { return int32(a-b) < 0 }
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+func (c *Conn) sendSeg(hdr *packet.TCP, payload []byte) {
+	hdr.SrcPort, hdr.DstPort = c.Local.Port, c.Remote.Port
+	hdr.Window = 65535
+	c.stack.Net.Send(c.stack.Host, &packet.Packet{
+		IP:      packet.IPv4{Protocol: packet.ProtoTCP, Src: c.Local.Addr, Dst: c.Remote.Addr},
+		TCP:     hdr,
+		Payload: payload,
+	})
+}
+
+// Send queues application bytes and pumps the window.
+func (c *Conn) Send(data []byte) {
+	if c.state == StateClosed || len(data) == 0 {
+		return
+	}
+	c.sendBuf = append(c.sendBuf, data...)
+	c.pump()
+}
+
+// pump transmits new segments while congestion and flow windows allow.
+func (c *Conn) pump() {
+	if c.state != StateEstablished {
+		return
+	}
+	for {
+		inflight := int(c.sndNxt - c.sndUna)
+		win := int(c.cwnd)
+		if int(c.rwnd) < win {
+			win = int(c.rwnd)
+		}
+		avail := win - inflight
+		offset := int(c.sndNxt - c.sndUna)
+		remain := len(c.sendBuf) - offset
+		if avail < 1 || remain <= 0 {
+			return
+		}
+		n := MSS
+		if n > remain {
+			n = remain
+		}
+		if n > avail {
+			n = avail
+		}
+		seg := c.sendBuf[offset : offset+n]
+		c.sendSeg(&packet.TCP{Flags: packet.FlagACK | packet.FlagPSH, Seq: c.sndNxt, Ack: c.rcvNxt}, seg)
+		if !c.timing {
+			c.timing = true
+			c.rttSeq = c.sndNxt + uint32(n)
+			c.rttAt = c.now()
+		}
+		c.sndNxt += uint32(n)
+		c.DataSent += n
+		c.armRTO()
+	}
+}
+
+func (c *Conn) now() time.Duration { return c.stack.Net.Sched.Now() }
+
+func (c *Conn) armRTO() {
+	if c.rtoTimer != nil {
+		c.stack.Net.Sched.Cancel(c.rtoTimer)
+		c.rtoTimer = nil
+	}
+	if c.Unacked() == 0 && c.state == StateEstablished {
+		return
+	}
+	if c.state == StateClosed {
+		return
+	}
+	c.rtoTimer = c.stack.Net.Sched.After(c.rto, c.onRTO)
+}
+
+func (c *Conn) onRTO() {
+	c.rtoTimer = nil
+	if c.state == StateClosed {
+		return
+	}
+	c.retries++
+	if c.retries > maxRetries {
+		c.close("too many retransmissions")
+		return
+	}
+	// Collapse the window and back off.
+	c.ssthresh = maxf(float64(c.Unacked())/2, 2*MSS)
+	c.cwnd = MSS
+	c.inRecovery = false
+	c.rto *= 2
+	if c.rto > maxRTO {
+		c.rto = maxRTO
+	}
+	c.timing = false // Karn: do not time retransmitted segments
+	if c.state == StateEstablished {
+		// Go-back-N: everything past the oldest hole is presumed lost.
+		// Rewind so pump() re-sends from the hole inside the collapsed
+		// window; slow start then re-grows toward ssthresh.
+		c.Retransmits++
+		c.sndNxt = c.sndUna
+		c.pump()
+	} else {
+		c.retransmitHead()
+	}
+	c.armRTO()
+}
+
+// retransmitHead resends the oldest unacknowledged segment (or control
+// packet during handshake).
+func (c *Conn) retransmitHead() {
+	c.Retransmits++
+	switch c.state {
+	case StateSynSent:
+		c.sendSeg(&packet.TCP{Flags: packet.FlagSYN, Seq: c.iss}, nil)
+	case StateSynReceived:
+		c.sendSeg(&packet.TCP{Flags: packet.FlagSYN | packet.FlagACK, Seq: c.iss, Ack: c.rcvNxt}, nil)
+	case StateEstablished:
+		n := len(c.sendBuf)
+		if n > MSS {
+			n = MSS
+		}
+		if n == 0 {
+			return
+		}
+		c.sendSeg(&packet.TCP{Flags: packet.FlagACK | packet.FlagPSH, Seq: c.sndUna, Ack: c.rcvNxt}, c.sendBuf[:n])
+	}
+}
+
+func (c *Conn) close(reason string) {
+	if c.state == StateClosed {
+		return
+	}
+	c.state = StateClosed
+	if c.rtoTimer != nil {
+		c.stack.Net.Sched.Cancel(c.rtoTimer)
+		c.rtoTimer = nil
+	}
+	delete(c.stack.conns, connKey{c.Local.Port, c.Remote})
+	if c.OnClose != nil {
+		c.OnClose(reason)
+	}
+}
+
+// Close tears the connection down locally (no FIN exchange is modelled; the
+// peer notices via its own retransmission limit if it keeps sending).
+func (c *Conn) Close() { c.close("closed by application") }
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (c *Conn) receive(p *packet.Packet) {
+	t := p.TCP
+	switch c.state {
+	case StateSynSent:
+		if t.HasFlag(packet.FlagSYN | packet.FlagACK) {
+			c.rcvNxt = t.Seq + 1
+			c.sndUna = t.Ack
+			c.state = StateEstablished
+			c.retries = 0
+			c.rto = initialRTO
+			c.sendSeg(&packet.TCP{Flags: packet.FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt}, nil)
+			c.armRTO()
+			if c.OnEstablished != nil {
+				c.OnEstablished()
+			}
+			c.pump()
+		}
+		return
+	case StateSynReceived:
+		if t.HasFlag(packet.FlagACK) && t.Ack == c.sndNxt {
+			c.state = StateEstablished
+			c.retries = 0
+			c.rto = initialRTO
+			c.armRTO()
+			if c.OnEstablished != nil {
+				c.OnEstablished()
+			}
+			c.pump()
+		}
+		// Fall through: the ACK may carry data.
+	case StateClosed:
+		return
+	}
+	if c.state != StateEstablished {
+		return
+	}
+
+	c.rwnd = uint32(t.Window) * windowScale
+
+	// ---- ACK processing ----
+	if t.HasFlag(packet.FlagACK) {
+		// After a go-back-N rewind, a cumulative ACK for pre-rewind data can
+		// exceed the rewound sndNxt. It is still a genuine ACK for bytes the
+		// receiver holds; fast-forward sndNxt so the advance is accepted.
+		if seqLT(c.sndNxt, t.Ack) && t.Ack-c.sndUna <= uint32(len(c.sendBuf))+1 {
+			c.sndNxt = t.Ack
+		}
+		if seqLT(c.sndUna, t.Ack) && seqLEQ(t.Ack, c.sndNxt) {
+			acked := t.Ack - c.sndUna
+			// The SYN consumes a sequence number that never entered the
+			// send buffer; clamp buffer consumption accordingly.
+			bufAck := int(acked)
+			if bufAck > len(c.sendBuf) {
+				bufAck = len(c.sendBuf)
+			}
+			c.sendBuf = c.sendBuf[bufAck:]
+			c.sndUna = t.Ack
+			c.dupAcks = 0
+			// Spurious-RTO mitigation (F-RTO flavoured): an ACK covering
+			// more than the single retransmitted segment means the
+			// original flight was delivered — the timeout was a delay
+			// spike, not loss. Undo the window collapse so a sudden path
+			// delay (Fig. 13's netem stages) doesn't strand the
+			// connection in deep slow start with a backed-off timer.
+			if c.retries > 0 && acked > MSS {
+				c.cwnd = maxf(c.cwnd, c.ssthresh)
+				base := 2 * c.srtt
+				if base < initialRTO {
+					base = initialRTO
+				}
+				if c.rto > base {
+					c.rto = base
+				}
+			}
+			c.retries = 0
+			// RTT sample.
+			if c.timing && seqLEQ(c.rttSeq, t.Ack) {
+				c.sampleRTT(c.now() - c.rttAt)
+				c.timing = false
+			}
+			if c.inRecovery {
+				if seqLT(t.Ack, c.recover) {
+					// NewReno partial ACK: the next hole is lost too —
+					// retransmit it immediately and stay in recovery.
+					c.timing = false
+					c.retransmitHead()
+				} else {
+					c.inRecovery = false
+					c.cwnd = c.ssthresh
+				}
+			} else {
+				// Congestion window growth.
+				if c.cwnd < c.ssthresh {
+					c.cwnd += float64(acked) // slow start
+				} else {
+					c.cwnd += MSS * MSS / c.cwnd // congestion avoidance
+				}
+			}
+			c.armRTO()
+			if c.Unacked() == 0 && len(c.sendBuf) == 0 && c.OnDrained != nil {
+				c.OnDrained()
+			}
+			c.pump()
+		} else if t.Ack == c.sndUna && c.Unacked() > 0 && len(p.Payload) == 0 {
+			c.dupAcks++
+			if c.dupAcks == 3 && !c.inRecovery {
+				// Fast retransmit + NewReno fast recovery.
+				c.ssthresh = maxf(float64(c.Unacked())/2, 2*MSS)
+				c.cwnd = c.ssthresh + 3*MSS
+				c.inRecovery = true
+				c.recover = c.sndNxt
+				c.timing = false
+				c.retransmitHead()
+			} else if c.inRecovery {
+				// Window inflation keeps the pipe full during recovery.
+				c.cwnd += MSS
+				c.pump()
+			}
+		}
+	}
+
+	// ---- data processing ----
+	if len(p.Payload) > 0 {
+		if t.Seq == c.rcvNxt {
+			c.deliver(p.Payload)
+			// Drain contiguous out-of-order segments.
+			for {
+				seg, ok := c.ooo[c.rcvNxt]
+				if !ok {
+					break
+				}
+				delete(c.ooo, c.rcvNxt)
+				c.deliver(seg)
+			}
+		} else if seqLT(c.rcvNxt, t.Seq) {
+			c.ooo[t.Seq] = append([]byte(nil), p.Payload...)
+		}
+		// ACK everything we have (also generates dup ACKs on gaps).
+		c.sendSeg(&packet.TCP{Flags: packet.FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt}, nil)
+	}
+}
+
+func (c *Conn) deliver(b []byte) {
+	c.rcvNxt += uint32(len(b))
+	c.DataRecv += len(b)
+	if c.OnData != nil {
+		c.OnData(b)
+	}
+}
+
+func (c *Conn) sampleRTT(m time.Duration) {
+	if m <= 0 {
+		m = time.Millisecond
+	}
+	if c.srtt == 0 {
+		c.srtt = m
+		c.rttvar = m / 2
+	} else {
+		d := c.srtt - m
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + m) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < minRTO {
+		c.rto = minRTO
+	}
+	if c.rto > maxRTO {
+		c.rto = maxRTO
+	}
+}
+
+// SRTT exposes the smoothed RTT estimate (zero before the first sample).
+func (c *Conn) SRTT() time.Duration { return c.srtt }

@@ -1,0 +1,92 @@
+package svrlab_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/svrlab/svrlab"
+)
+
+func TestExperimentsRegistryComplete(t *testing.T) {
+	infos := svrlab.Experiments()
+	want := []string{
+		"decimate", "disrupt-lat", "fig11", "fig12", "fig13", "fig13tcp",
+		"fig2", "fig3", "fig6", "fig6b", "fig7", "fig9", "p2p", "remote",
+		"table1", "table2", "table3", "table4", "viewport",
+	}
+	if len(infos) != len(want) {
+		t.Fatalf("experiments = %d, want %d", len(infos), len(want))
+	}
+	for i, w := range want {
+		if infos[i].ID != w {
+			t.Fatalf("experiment %d = %q, want %q", i, infos[i].ID, w)
+		}
+		if infos[i].Artifact == "" || infos[i].Title == "" {
+			t.Fatalf("experiment %q missing metadata", infos[i].ID)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := svrlab.Run("fig99", svrlab.Options{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunTable1ThroughPublicAPI(t *testing.T) {
+	res, err := svrlab.Run("table1", svrlab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	for _, p := range svrlab.Platforms() {
+		if !strings.Contains(out, string(p)) {
+			t.Fatalf("artifact missing %v:\n%s", p, out)
+		}
+	}
+}
+
+func TestPlatformConstants(t *testing.T) {
+	ps := svrlab.Platforms()
+	if len(ps) != 5 {
+		t.Fatalf("platforms = %v", ps)
+	}
+	seen := map[svrlab.Platform]bool{}
+	for _, p := range ps {
+		seen[p] = true
+	}
+	for _, p := range []svrlab.Platform{svrlab.AltspaceVR, svrlab.Worlds, svrlab.Hubs, svrlab.RecRoom, svrlab.VRChat} {
+		if !seen[p] {
+			t.Fatalf("missing platform %v", p)
+		}
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	a, err := svrlab.Run("fig3", svrlab.Options{Seed: 5, Platform: svrlab.RecRoom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svrlab.Run("fig3", svrlab.Options{Seed: 5, Platform: svrlab.RecRoom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatal("same seed produced different artifacts")
+	}
+	c, err := svrlab.Run("fig3", svrlab.Options{Seed: 6, Platform: svrlab.RecRoom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() == c.Render() {
+		t.Fatal("different seeds produced identical artifacts (suspicious)")
+	}
+}
+
+func TestNewLabIsUsable(t *testing.T) {
+	lab := svrlab.NewLab(1)
+	if lab.Sched == nil || lab.Dep == nil {
+		t.Fatal("lab not initialized")
+	}
+	lab.Sched.RunUntil(0)
+}
