@@ -1,0 +1,22 @@
+# Tier-1 gate: everything must build, vet clean, and pass the full test
+# suite with the race detector on (the parallel experiment runner makes the
+# whole suite a concurrency test).
+.PHONY: check build vet test race bench
+
+check: build vet race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race -timeout 45m ./...
+
+# The full paper reproduction: one benchmark per table/figure.
+bench:
+	go test -bench=. -benchmem

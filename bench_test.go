@@ -7,6 +7,7 @@
 package svrlab_test
 
 import (
+	"runtime"
 	"testing"
 
 	"github.com/svrlab/svrlab"
@@ -15,6 +16,11 @@ import (
 )
 
 const benchSeed = 42
+
+// benchWorkers sizes the sweep fan-out to the machine; artifacts are
+// bit-identical at any worker count, so the benchmarks measure the same
+// workload regardless of parallelism.
+var benchWorkers = runtime.GOMAXPROCS(0)
 
 func run(b *testing.B, id string, o svrlab.Options) svrlab.Result {
 	b.Helper()
@@ -39,7 +45,7 @@ func BenchmarkTable1Features(b *testing.B) {
 // table, including multi-vantage anycast inference.
 func BenchmarkTable2Infrastructure(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := run(b, "table2", svrlab.Options{Seed: benchSeed}).(*experiment.Table2Result)
+		res := run(b, "table2", svrlab.Options{Seed: benchSeed, Workers: benchWorkers}).(*experiment.Table2Result)
 		anycast := 0
 		for _, row := range res.Rows {
 			if row.Control.Anycast {
@@ -68,7 +74,7 @@ func BenchmarkFig2ChannelTimeline(b *testing.B) {
 // the mute-join avatar differencing.
 func BenchmarkTable3Throughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := run(b, "table3", svrlab.Options{Seed: benchSeed, Repeats: 3}).(*experiment.Table3Result)
+		res := run(b, "table3", svrlab.Options{Seed: benchSeed, Repeats: 3, Workers: benchWorkers}).(*experiment.Table3Result)
 		for _, row := range res.Rows {
 			if row.Platform == platform.Worlds {
 				b.ReportMetric(row.UpMean/1000, "worlds-up-kbps")
@@ -89,13 +95,10 @@ func BenchmarkFig3ForwardingEvidence(b *testing.B) {
 }
 
 // BenchmarkFig6JoinScalability regenerates the five join-staircase panels
-// plus the AltspaceVR corner variant.
+// plus the AltspaceVR corner variant, fanned out across the worker pool.
 func BenchmarkFig6JoinScalability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		for _, p := range svrlab.Platforms() {
-			run(b, "fig6", svrlab.Options{Seed: benchSeed, Platform: p})
-		}
-		run(b, "fig6b", svrlab.Options{Seed: benchSeed})
+		run(b, "fig6all", svrlab.Options{Seed: benchSeed, Workers: benchWorkers})
 	}
 }
 
@@ -104,7 +107,7 @@ func BenchmarkFig6JoinScalability(b *testing.B) {
 func BenchmarkFig7PublicScalability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, p := range svrlab.Platforms() {
-			res := run(b, "fig7", svrlab.Options{Seed: benchSeed, Platform: p, Repeats: 1}).(*experiment.ScalingResult)
+			res := run(b, "fig7", svrlab.Options{Seed: benchSeed, Platform: p, Repeats: 1, Workers: benchWorkers}).(*experiment.ScalingResult)
 			slope, _ := res.LinearFitDown()
 			b.ReportMetric(slope/1000, "kbps-per-user")
 		}
@@ -117,7 +120,7 @@ func BenchmarkFig7PublicScalability(b *testing.B) {
 func BenchmarkFig8ResourceScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, p := range svrlab.Platforms() {
-			res := run(b, "fig7", svrlab.Options{Seed: benchSeed, Platform: p, Repeats: 1, Counts: []int{1, 5, 15}}).(*experiment.ScalingResult)
+			res := run(b, "fig7", svrlab.Options{Seed: benchSeed, Platform: p, Repeats: 1, Counts: []int{1, 5, 15}, Workers: benchWorkers}).(*experiment.ScalingResult)
 			if n := len(res.Points); n >= 2 {
 				b.ReportMetric(res.Points[n-1].CPU.Mean-res.Points[0].CPU.Mean, "cpu-growth-pct")
 			}
@@ -128,7 +131,7 @@ func BenchmarkFig8ResourceScaling(b *testing.B) {
 // BenchmarkFig9LargeScaleHubs regenerates the 15-28 user private-Hubs event.
 func BenchmarkFig9LargeScaleHubs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := run(b, "fig9", svrlab.Options{Seed: benchSeed, Repeats: 1}).(*experiment.ScalingResult)
+		res := run(b, "fig9", svrlab.Options{Seed: benchSeed, Repeats: 1, Workers: benchWorkers}).(*experiment.ScalingResult)
 		last := res.Points[len(res.Points)-1]
 		b.ReportMetric(last.FPS.Mean, "fps-at-28-users")
 	}
@@ -145,7 +148,7 @@ func BenchmarkViewportDetection(b *testing.B) {
 // BenchmarkTable4Latency regenerates the latency breakdown table.
 func BenchmarkTable4Latency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := run(b, "table4", svrlab.Options{Seed: benchSeed, Repeats: 10}).(*experiment.Table4Result)
+		res := run(b, "table4", svrlab.Options{Seed: benchSeed, Repeats: 10, Workers: benchWorkers}).(*experiment.Table4Result)
 		for _, row := range res.Rows {
 			if row.Platform == platform.Hubs && !row.Private {
 				b.ReportMetric(row.E2E.Mean, "hubs-e2e-ms")
@@ -159,7 +162,7 @@ func BenchmarkTable4Latency(b *testing.B) {
 func BenchmarkFig11LatencyScalability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, p := range []svrlab.Platform{svrlab.Hubs, svrlab.Worlds, svrlab.RecRoom} {
-			res := run(b, "fig11", svrlab.Options{Seed: benchSeed, Platform: p, Repeats: 5}).(*experiment.Fig11Result)
+			res := run(b, "fig11", svrlab.Options{Seed: benchSeed, Platform: p, Repeats: 5, Workers: benchWorkers}).(*experiment.Fig11Result)
 			b.ReportMetric(res.E2E[len(res.E2E)-1].Mean, "e2e-at-7-ms")
 		}
 	}
@@ -193,7 +196,7 @@ func BenchmarkLatencyLossDisruption(b *testing.B) {
 // BenchmarkRemoteRenderingAblation regenerates the §6.3 comparison.
 func BenchmarkRemoteRenderingAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := run(b, "remote", svrlab.Options{Seed: benchSeed}).(*experiment.RemoteResult)
+		res := run(b, "remote", svrlab.Options{Seed: benchSeed, Workers: benchWorkers}).(*experiment.RemoteResult)
 		last := res.Points[len(res.Points)-1]
 		b.ReportMetric(last.RemoteDownBps/1e6, "remote-mbps")
 	}
@@ -202,7 +205,7 @@ func BenchmarkRemoteRenderingAblation(b *testing.B) {
 // BenchmarkP2PAblation regenerates the §6.2 P2P comparison.
 func BenchmarkP2PAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := run(b, "p2p", svrlab.Options{Seed: benchSeed}).(*experiment.P2PResult)
+		res := run(b, "p2p", svrlab.Options{Seed: benchSeed, Workers: benchWorkers}).(*experiment.P2PResult)
 		last := res.Points[len(res.Points)-1]
 		b.ReportMetric(last.P2PUplinkBps/1000, "p2p-up-kbps")
 	}
@@ -211,7 +214,7 @@ func BenchmarkP2PAblation(b *testing.B) {
 // BenchmarkDecimationAblation regenerates the §6.2 update-rate ablation.
 func BenchmarkDecimationAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := run(b, "decimate", svrlab.Options{Seed: benchSeed}).(*experiment.DecimateResult)
+		res := run(b, "decimate", svrlab.Options{Seed: benchSeed, Workers: benchWorkers}).(*experiment.DecimateResult)
 		last := res.Points[len(res.Points)-1]
 		b.ReportMetric(last.SavingFraction*100, "saving-pct")
 	}

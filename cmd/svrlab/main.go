@@ -13,6 +13,8 @@
 //	-repeats N     repetition count override (0 = experiment default)
 //	-platform P    platform override for single-platform experiments
 //	-users a,b,c   user-count sweep override
+//	-workers N     worker pool size for parallel sweeps (0 = GOMAXPROCS);
+//	               any value yields bit-identical artifacts
 package main
 
 import (
@@ -37,6 +39,7 @@ func main() {
 	repeats := fs.Int("repeats", 0, "repetition count (0 = default)")
 	platformName := fs.String("platform", "", "platform override")
 	users := fs.String("users", "", "comma-separated user counts")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	format := fs.String("format", "text", "output format: text or json")
 
 	switch cmd {
@@ -53,7 +56,7 @@ func main() {
 		if err := fs.Parse(os.Args[3:]); err != nil {
 			os.Exit(2)
 		}
-		opts := buildOpts(*seed, *repeats, *platformName, *users)
+		opts := buildOpts(*seed, *repeats, *platformName, *users, *workers)
 		res, err := svrlab.Run(id, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -64,7 +67,7 @@ func main() {
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
 		}
-		opts := buildOpts(*seed, *repeats, *platformName, *users)
+		opts := buildOpts(*seed, *repeats, *platformName, *users, *workers)
 		for _, info := range svrlab.Experiments() {
 			fmt.Printf("==== %s (%s) ====\n", info.ID, info.Artifact)
 			res, err := svrlab.Run(info.ID, opts)
@@ -97,8 +100,8 @@ func emit(res svrlab.Result, format string) {
 	}
 }
 
-func buildOpts(seed int64, repeats int, platformName, users string) svrlab.Options {
-	opts := svrlab.Options{Seed: seed, Repeats: repeats}
+func buildOpts(seed int64, repeats int, platformName, users string, workers int) svrlab.Options {
+	opts := svrlab.Options{Seed: seed, Repeats: repeats, Workers: workers}
 	if platformName != "" {
 		for _, p := range svrlab.Platforms() {
 			if strings.EqualFold(string(p), platformName) {
@@ -128,6 +131,6 @@ func usage() {
 
 usage:
   svrlab list
-  svrlab run <experiment-id> [-seed N] [-repeats N] [-platform P] [-users a,b,c]
+  svrlab run <experiment-id> [-seed N] [-repeats N] [-platform P] [-users a,b,c] [-workers N]
   svrlab all [flags]`)
 }

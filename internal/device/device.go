@@ -233,6 +233,24 @@ func (m *Monitor) Window(from, to time.Duration) []Sample {
 	return out
 }
 
+// BatteryDrainPerMin reports the battery percentage drained per minute over
+// [from, to), from the first and last samples inside the window. Measuring
+// from a window-start snapshot (instead of assuming a full charge at t=0)
+// excludes warm-up drain and any initial charge below 100%. It returns 0 if
+// the window holds fewer than two samples.
+func (m *Monitor) BatteryDrainPerMin(from, to time.Duration) float64 {
+	w := m.Window(from, to)
+	if len(w) < 2 {
+		return 0
+	}
+	first, last := w[0], w[len(w)-1]
+	span := last.T - first.T
+	if span <= 0 {
+		return 0
+	}
+	return (first.BatteryPct - last.BatteryPct) / span.Minutes()
+}
+
 // Means averages FPS/CPU/GPU/memory over [from, to).
 func (m *Monitor) Means(from, to time.Duration) (fps, cpu, gpu, mem float64) {
 	w := m.Window(from, to)

@@ -108,6 +108,40 @@ func TestBatteryDrains(t *testing.T) {
 	}
 }
 
+func TestMonitorBatteryDrainPerMin(t *testing.T) {
+	s := simtime.NewScheduler()
+	h := NewHeadset(Quest2, testCost(), rand.New(rand.NewSource(7)))
+	h.AvatarsInScene = 15
+	m := Attach(s, h)
+	s.RunUntil(60 * time.Second)
+
+	drain := m.BatteryDrainPerMin(20*time.Second, 60*time.Second)
+	if drain <= 0 {
+		t.Fatalf("steady-window drain = %v, want > 0", drain)
+	}
+	// The window measurement must be anchored at the 20 s snapshot, not at a
+	// full charge: drain inferred from 100% would overcount.
+	w := m.Window(20*time.Second, 60*time.Second)
+	first, last := w[0], w[len(w)-1]
+	naive := (100 - last.BatteryPct) / (last.T - first.T).Minutes()
+	if drain >= naive {
+		t.Fatalf("window drain %v should be below full-charge-anchored %v", drain, naive)
+	}
+	// Cross-check against the raw endpoint samples.
+	want := (first.BatteryPct - last.BatteryPct) / (last.T - first.T).Minutes()
+	if drain != want {
+		t.Fatalf("drain = %v, want %v", drain, want)
+	}
+
+	// Degenerate windows yield 0.
+	if d := m.BatteryDrainPerMin(59*time.Second, 60*time.Second); d != 0 {
+		t.Fatalf("single-sample window drain = %v, want 0", d)
+	}
+	if d := m.BatteryDrainPerMin(2*time.Minute, 3*time.Minute); d != 0 {
+		t.Fatalf("empty window drain = %v, want 0", d)
+	}
+}
+
 func TestMemoryCappedAtDeviceTotal(t *testing.T) {
 	c := testCost()
 	c.BaseMemMB = 6100

@@ -11,8 +11,20 @@ import (
 	"github.com/svrlab/svrlab/internal/packet"
 	"github.com/svrlab/svrlab/internal/platform"
 	"github.com/svrlab/svrlab/internal/render"
+	"github.com/svrlab/svrlab/internal/runner"
 	"github.com/svrlab/svrlab/internal/transport"
 )
+
+// eligibleCounts filters a sweep to the platform's event-size cap.
+func eligibleCounts(p *platform.Profile, counts []int) []int {
+	var out []int
+	for _, n := range counts {
+		if n <= p.MaxEventUsers {
+			out = append(out, n)
+		}
+	}
+	return out
+}
 
 // RemotePoint compares local and remote rendering at one user count.
 type RemotePoint struct {
@@ -33,22 +45,20 @@ type RemoteResult struct {
 
 // RemoteAblation contrasts the measured local-rendering scaling against a
 // remote-rendering deployment for the same platform and the same events.
-func RemoteAblation(name platform.Name, counts []int, seed int64) *RemoteResult {
+func RemoteAblation(name platform.Name, counts []int, seed int64, workers int) *RemoteResult {
 	if len(counts) == 0 {
 		counts = []int{2, 5, 10, 15}
 	}
 	p := platform.Get(name)
-	res := &RemoteResult{Platform: name}
-	for _, n := range counts {
-		if n > p.MaxEventUsers {
-			continue
-		}
+	eligible := eligibleCounts(p, counts)
+	points := runner.Map(workers, len(eligible), func(i int) RemotePoint {
+		n := eligible[i]
 		pt := RemotePoint{Users: n}
 		pt.LocalDownBps, pt.LocalFPS, _, _, _, _ = scalingRun(name, n, seed+int64(n))
 		pt.RemoteDownBps, pt.RemoteFramesPS, pt.RemoteFPS = remoteRun(p, n, seed+int64(n))
-		res.Points = append(res.Points, pt)
-	}
-	return res
+		return pt
+	})
+	return &RemoteResult{Platform: name, Points: points}
 }
 
 // remoteRun streams a rendered view from an edge server to U1 while the
@@ -110,25 +120,21 @@ type P2PResult struct {
 }
 
 // P2PAblation measures a peer full-mesh carrying the same avatar streams.
-func P2PAblation(name platform.Name, counts []int, seed int64) *P2PResult {
+func P2PAblation(name platform.Name, counts []int, seed int64, workers int) *P2PResult {
 	if len(counts) == 0 {
 		counts = []int{2, 5, 10}
 	}
 	p := platform.Get(name)
-	res := &P2PResult{Platform: name}
-	for _, n := range counts {
-		if n > p.MaxEventUsers {
-			continue
-		}
+	eligible := eligibleCounts(p, counts)
+	points := runner.Map(workers, len(eligible), func(i int) P2PPoint {
+		n := eligible[i]
 		pt := P2PPoint{Users: n}
-		var cup float64
 		pt.ServerDownBps, _, _, _, _, _ = scalingRun(name, n, seed+int64(n))
-		cup = serverUplink(name, n, seed+int64(n))
-		pt.ServerUplinkBps = cup
+		pt.ServerUplinkBps = serverUplink(name, n, seed+int64(n))
 		pt.P2PUplinkBps, pt.P2PDownBps = p2pRun(p, n, seed+int64(n))
-		res.Points = append(res.Points, pt)
-	}
-	return res
+		return pt
+	})
+	return &P2PResult{Platform: name, Points: points}
 }
 
 func serverUplink(name platform.Name, n int, seed int64) float64 {

@@ -6,6 +6,7 @@ import (
 
 	"github.com/svrlab/svrlab/internal/capture"
 	"github.com/svrlab/svrlab/internal/platform"
+	"github.com/svrlab/svrlab/internal/runner"
 )
 
 // DecimatePoint compares full-rate and decimated forwarding at one event
@@ -28,27 +29,25 @@ type DecimateResult struct {
 }
 
 // Decimate measures the saving of the proposed optimization.
-func Decimate(name platform.Name, counts []int, seed int64) *DecimateResult {
+func Decimate(name platform.Name, counts []int, seed int64, workers int) *DecimateResult {
 	if len(counts) == 0 {
 		counts = []int{5, 10, 15}
 	}
 	const factor = 3
 	const radius = 2.0 // meters; the circle arrangement spaces users wider
 	p := platform.Get(name)
-	res := &DecimateResult{Platform: name, Factor: factor, Radius: radius}
-	for _, n := range counts {
-		if n > p.MaxEventUsers {
-			continue
-		}
+	eligible := eligibleCounts(p, counts)
+	points := runner.Map(workers, len(eligible), func(i int) DecimatePoint {
+		n := eligible[i]
 		full := decimateRun(name, n, seed+int64(n), nil)
 		dec := decimateRun(name, n, seed+int64(n), &platform.DecimationPolicy{Factor: factor, InteractRadius: radius})
 		pt := DecimatePoint{Users: n, FullDownBps: full, DecimatedBps: dec}
 		if full > 0 {
 			pt.SavingFraction = 1 - dec/full
 		}
-		res.Points = append(res.Points, pt)
-	}
-	return res
+		return pt
+	})
+	return &DecimateResult{Platform: name, Factor: factor, Radius: radius, Points: points}
 }
 
 func decimateRun(name platform.Name, n int, seed int64, policy *platform.DecimationPolicy) float64 {

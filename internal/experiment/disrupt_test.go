@@ -118,7 +118,7 @@ func TestDisruptLatencyLossQoE(t *testing.T) {
 }
 
 func TestRemoteRenderingAblation(t *testing.T) {
-	r := RemoteAblation(platform.RecRoom, []int{2, 8}, 181)
+	r := RemoteAblation(platform.RecRoom, []int{2, 8}, 181, 2)
 	if len(r.Points) != 2 {
 		t.Fatalf("points = %d", len(r.Points))
 	}
@@ -145,7 +145,7 @@ func TestRemoteRenderingAblation(t *testing.T) {
 }
 
 func TestP2PAblation(t *testing.T) {
-	r := P2PAblation(platform.VRChat, []int{2, 6}, 191)
+	r := P2PAblation(platform.VRChat, []int{2, 6}, 191, 2)
 	if len(r.Points) != 2 {
 		t.Fatalf("points = %d", len(r.Points))
 	}
@@ -164,7 +164,7 @@ func TestP2PAblation(t *testing.T) {
 }
 
 func TestDecimationAblation(t *testing.T) {
-	r := Decimate(platform.VRChat, []int{8}, 211)
+	r := Decimate(platform.VRChat, []int{8}, 211, 2)
 	if len(r.Points) != 1 {
 		t.Fatalf("points = %d", len(r.Points))
 	}

@@ -34,7 +34,7 @@ func TestTable1MatchesPaperFeatureMatrix(t *testing.T) {
 }
 
 func TestTable2InfrastructureShape(t *testing.T) {
-	r := Table2(21)
+	r := Table2(21, 2)
 	if len(r.Rows) != 5 {
 		t.Fatalf("rows = %d", len(r.Rows))
 	}
@@ -160,7 +160,7 @@ func TestFig2AltspaceHasPeriodicControlSpikes(t *testing.T) {
 }
 
 func TestTable3AvatarShares(t *testing.T) {
-	r := Table3(51, 2)
+	r := Table3(51, 2, 2)
 	if len(r.Rows) != 5 {
 		t.Fatalf("rows = %d", len(r.Rows))
 	}
@@ -251,7 +251,7 @@ func TestFig6AltspaceViewportBothVariants(t *testing.T) {
 }
 
 func TestScalingSmall(t *testing.T) {
-	r := Scaling(platform.RecRoom, []int{1, 3, 5}, 2, 81)
+	r := Scaling(platform.RecRoom, []int{1, 3, 5}, 2, 81, 3)
 	if len(r.Points) != 3 {
 		t.Fatalf("points = %d", len(r.Points))
 	}
@@ -268,9 +268,10 @@ func TestScalingSmall(t *testing.T) {
 	if r.Points[2].FPS.Mean > r.Points[0].FPS.Mean+1 {
 		t.Fatal("FPS should not improve with more users")
 	}
-	// <10% battery per 10-minute experiment (we ran 1 minute).
-	if r.Points[2].Battery.Mean*10 > 10 {
-		t.Fatalf("battery drain %.1f%%/10min, want <10", r.Points[2].Battery.Mean*10)
+	// Battery drain is %/min over the 20-60 s steady window; the paper saw
+	// <10% over a 10-minute experiment.
+	if d := r.Points[2].Battery.Mean; d <= 0 || d*10 > 10 {
+		t.Fatalf("battery drain %.2f%%/min, want in (0, 1)", d)
 	}
 	slope, r2 := r.LinearFitDown()
 	if slope <= 0 || r2 < 0.95 {
@@ -282,7 +283,7 @@ func TestScalingSmall(t *testing.T) {
 }
 
 func TestWorldsRespectsEventCap(t *testing.T) {
-	r := Scaling(platform.Worlds, []int{15, 20}, 1, 83)
+	r := Scaling(platform.Worlds, []int{15, 20}, 1, 83, 2)
 	// 20 exceeds the 16-user cap and must be skipped.
 	if len(r.Points) != 1 || r.Points[0].Users != 15 {
 		t.Fatalf("points = %+v, want only 15", r.Points)
@@ -290,7 +291,7 @@ func TestWorldsRespectsEventCap(t *testing.T) {
 }
 
 func TestFig9PrivateHubsLargeScale(t *testing.T) {
-	r := Fig9([]int{15, 22}, 1, 91)
+	r := Fig9([]int{15, 22}, 1, 91, 2)
 	if len(r.Points) != 2 {
 		t.Fatalf("points = %d", len(r.Points))
 	}

@@ -8,6 +8,7 @@ import (
 	"github.com/svrlab/svrlab/internal/capture"
 	"github.com/svrlab/svrlab/internal/platform"
 	"github.com/svrlab/svrlab/internal/plot"
+	"github.com/svrlab/svrlab/internal/runner"
 	"github.com/svrlab/svrlab/internal/stats"
 	"github.com/svrlab/svrlab/internal/world"
 )
@@ -91,6 +92,36 @@ func Fig6(name platform.Name, variant Fig6Variant, seed int64) *Fig6Result {
 		JoinTimes: joins,
 		TurnAt:    turnAt,
 	}
+}
+
+// Fig6PanelsResult is the full Figure 6: the five per-platform join
+// staircases (panels a-e) plus the AltspaceVR corner-facing variant (f).
+type Fig6PanelsResult struct {
+	Panels []*Fig6Result
+}
+
+// Fig6Panels runs the controlled-join experiment on all five platforms plus
+// the AltspaceVR corner variant. Each panel is an independent 300 s Lab, so
+// the six cells fan out across the worker pool; output keeps the paper's
+// panel order.
+func Fig6Panels(seed int64, workers int) *Fig6PanelsResult {
+	all := platform.All()
+	panels := runner.Map(workers, len(all)+1, func(i int) *Fig6Result {
+		if i < len(all) {
+			return Fig6(all[i].Name, Fig6FacingJoiners, seed)
+		}
+		return Fig6(platform.AltspaceVR, Fig6FacingCorner, seed)
+	})
+	return &Fig6PanelsResult{Panels: panels}
+}
+
+// Render prints all panels in order.
+func (r *Fig6PanelsResult) Render() string {
+	var b strings.Builder
+	for _, p := range r.Panels {
+		b.WriteString(p.Render())
+	}
+	return b.String()
 }
 
 // StepMeans returns the mean downlink in each join interval: [1,50), [50,

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/svrlab/svrlab/internal/platform"
+	"github.com/svrlab/svrlab/internal/runner"
 	"github.com/svrlab/svrlab/internal/stats"
 )
 
@@ -30,17 +31,20 @@ type Table4Result struct {
 // paper's method: trigger an action on U1, record frame-accurate display on
 // U2, synchronize the two headset clocks through the AP, and break the path
 // down with trace timestamps.
-func Table4(seed int64, repeats int) *Table4Result {
+func Table4(seed int64, repeats int, workers int) *Table4Result {
 	if repeats <= 0 {
 		repeats = 20
 	}
-	res := &Table4Result{}
-	for _, p := range platform.All() {
-		res.Rows = append(res.Rows, measureLatency(p.Name, 2, repeats, seed, false))
-	}
-	// Private Hubs (Hubs*).
-	res.Rows = append(res.Rows, measureLatency(platform.Hubs, 2, repeats, seed^0x9a, true))
-	return res
+	// One cell per platform row plus the private-Hubs row (Hubs*), each its
+	// own Lab, fanned out and collected in the paper's row order.
+	all := platform.All()
+	rows := runner.Map(workers, len(all)+1, func(i int) LatencyBreakdown {
+		if i < len(all) {
+			return measureLatency(all[i].Name, 2, repeats, seed, false)
+		}
+		return measureLatency(platform.Hubs, 2, repeats, seed^0x9a, true)
+	})
+	return &Table4Result{Rows: rows}
 }
 
 // measureLatency runs `repeats` marked actions in an n-user event and
@@ -123,15 +127,20 @@ type Fig11Result struct {
 	E2E      []stats.Summary
 }
 
-// Fig11 measures E2E latency at event sizes 2-7 (paper Figure 11).
-func Fig11(name platform.Name, repeats int, seed int64) *Fig11Result {
+// Fig11 measures E2E latency at event sizes 2-7 (paper Figure 11), one
+// worker-pool cell per event size.
+func Fig11(name platform.Name, repeats int, seed int64, workers int) *Fig11Result {
 	if repeats <= 0 {
 		repeats = 10
 	}
+	const minUsers, maxUsers = 2, 7
+	rows := runner.Map(workers, maxUsers-minUsers+1, func(i int) LatencyBreakdown {
+		n := minUsers + i
+		return measureLatency(name, n, repeats, seed+int64(n)*1337, false)
+	})
 	res := &Fig11Result{Platform: name}
-	for n := 2; n <= 7; n++ {
-		row := measureLatency(name, n, repeats, seed+int64(n)*1337, false)
-		res.Users = append(res.Users, n)
+	for i, row := range rows {
+		res.Users = append(res.Users, minUsers+i)
 		res.E2E = append(res.E2E, row.E2E)
 	}
 	return res

@@ -6,6 +6,7 @@ import (
 
 	"github.com/svrlab/svrlab/internal/capture"
 	"github.com/svrlab/svrlab/internal/platform"
+	"github.com/svrlab/svrlab/internal/runner"
 	"github.com/svrlab/svrlab/internal/stats"
 )
 
@@ -18,7 +19,7 @@ type ScalePoint struct {
 	CPU     stats.Summary
 	GPU     stats.Summary
 	MemMB   stats.Summary
-	Battery stats.Summary // % drained over the event
+	Battery stats.Summary // %/min drained over the steady window
 }
 
 // ScalingResult backs Figures 7 and 8 (and 9 for private Hubs): the public
@@ -33,29 +34,44 @@ type ScalingResult struct {
 // PaperUserCounts is the Figure 7/8 x-axis.
 var PaperUserCounts = []int{1, 2, 3, 4, 5, 7, 10, 12, 15}
 
+// scaleCell is one event's raw measurements.
+type scaleCell struct {
+	down, fps, cpu, gpu, mem, batt float64
+}
+
 // Scaling measures U1's downlink throughput and device metrics in events of
 // increasing size (paper §6.2). Events are capped at the platform's maximum
-// (Worlds: 16).
-func Scaling(name platform.Name, counts []int, repeats int, seed int64) *ScalingResult {
+// (Worlds: 16). Every (user-count, repeat) cell runs its own Lab, so cells
+// fan out across the worker pool; seeds and output order are identical to
+// the serial sweep.
+func Scaling(name platform.Name, counts []int, repeats int, seed int64, workers int) *ScalingResult {
 	if repeats <= 0 {
 		repeats = 3
 	}
 	p := platform.Get(name)
-	res := &ScalingResult{Platform: name, Repeats: repeats}
+	var eligible []int
 	for _, n := range counts {
-		if n > p.MaxEventUsers {
-			continue
+		if n <= p.MaxEventUsers {
+			eligible = append(eligible, n)
 		}
+	}
+	cells := runner.Map(workers, len(eligible)*repeats, func(i int) scaleCell {
+		n, rep := eligible[i/repeats], i%repeats
+		d, f, c, g, m, bd := scalingRun(name, n, seed+int64(rep)*977+int64(n))
+		return scaleCell{d, f, c, g, m, bd}
+	})
+	res := &ScalingResult{Platform: name, Repeats: repeats}
+	for ci, n := range eligible {
 		pt := ScalePoint{Users: n}
 		var down, fps, cpu, gpu, mem, batt []float64
 		for rep := 0; rep < repeats; rep++ {
-			d, f, c, g, m, bd := scalingRun(name, n, seed+int64(rep)*977+int64(n))
-			down = append(down, d)
-			fps = append(fps, f)
-			cpu = append(cpu, c)
-			gpu = append(gpu, g)
-			mem = append(mem, m)
-			batt = append(batt, bd)
+			c := cells[ci*repeats+rep]
+			down = append(down, c.down)
+			fps = append(fps, c.fps)
+			cpu = append(cpu, c.cpu)
+			gpu = append(gpu, c.gpu)
+			mem = append(mem, c.mem)
+			batt = append(batt, c.batt)
 		}
 		pt.DownBps = stats.Summarize(down)
 		pt.FPS = stats.Summarize(fps)
@@ -82,7 +98,10 @@ func scalingRun(name platform.Name, n int, seed int64) (downBps, fps, cpu, gpu, 
 	f := l.dataOnly(p, ctrlAddr)
 	downBps = sniff.MeanBps(capture.MatchDown(f), 20*time.Second, 60*time.Second)
 	fps, cpu, gpu, mem = cs[0].Monitor.Means(20*time.Second, 60*time.Second)
-	battDrain = 100 - cs[0].Headset.Battery()
+	// Battery drain over the same 20-60 s steady window as throughput and
+	// FPS, anchored at the 20 s battery snapshot (not an assumed full
+	// charge) so warm-up drain is excluded. Units: %/min.
+	battDrain = cs[0].Monitor.BatteryDrainPerMin(20*time.Second, 60*time.Second)
 	return
 }
 
@@ -121,22 +140,27 @@ func (r *ScalingResult) Render() string {
 }
 
 // Fig9 runs the large-scale private-Hubs event (paper Figure 9, 15-28
-// users) against a self-hosted server.
-func Fig9(counts []int, repeats int, seed int64) *ScalingResult {
+// users) against a self-hosted server. Cells fan out like Scaling's.
+func Fig9(counts []int, repeats int, seed int64, workers int) *ScalingResult {
 	if len(counts) == 0 {
 		counts = []int{15, 20, 25, 28}
 	}
 	if repeats <= 0 {
 		repeats = 2
 	}
+	cells := runner.Map(workers, len(counts)*repeats, func(i int) scaleCell {
+		n, rep := counts[i/repeats], i%repeats
+		d, f := fig9Run(n, seed+int64(rep)*31+int64(n))
+		return scaleCell{down: d, fps: f}
+	})
 	res := &ScalingResult{Platform: platform.Hubs, Repeats: repeats, Private: true}
-	for _, n := range counts {
+	for ci, n := range counts {
 		pt := ScalePoint{Users: n}
 		var down, fps []float64
 		for rep := 0; rep < repeats; rep++ {
-			d, f := fig9Run(n, seed+int64(rep)*31+int64(n))
-			down = append(down, d)
-			fps = append(fps, f)
+			c := cells[ci*repeats+rep]
+			down = append(down, c.down)
+			fps = append(fps, c.fps)
 		}
 		pt.DownBps = stats.Summarize(down)
 		pt.FPS = stats.Summarize(fps)

@@ -10,6 +10,7 @@ import (
 	"github.com/svrlab/svrlab/internal/packet"
 	"github.com/svrlab/svrlab/internal/platform"
 	"github.com/svrlab/svrlab/internal/probe"
+	"github.com/svrlab/svrlab/internal/runner"
 	"github.com/svrlab/svrlab/internal/transport"
 )
 
@@ -52,12 +53,25 @@ type Table2Result struct {
 // classify each channel's protocol from wire bytes, measure RTT with
 // ICMP/TCP ping (or WebRTC stats where both fail, as for the Hubs SFU), and
 // infer anycast from three geo-distributed vantage points.
-func Table2(seed int64) *Table2Result {
+func Table2(seed int64, workers int) *Table2Result {
+	// One fan-out cell per platform: the campus probe session plus the
+	// extra-vantage sessions, each building private labs. Rows, extras and
+	// notes are assembled in the canonical platform order regardless of
+	// completion order.
+	all := platform.All()
+	type t2cell struct {
+		row    Table2Row
+		extras []RemoteRTT
+	}
+	cells := runner.Map(workers, len(all), func(i int) t2cell {
+		p := all[i]
+		return t2cell{row: probePlatform(p, seed), extras: probeExtraVantages(p, seed)}
+	})
 	res := &Table2Result{}
-	for _, p := range platform.All() {
-		res.Rows = append(res.Rows, probePlatform(p, seed))
-		res.Extras = append(res.Extras, probeExtraVantages(p, seed)...)
-		if p.Name == platform.Worlds {
+	for i, c := range cells {
+		res.Rows = append(res.Rows, c.row)
+		res.Extras = append(res.Extras, c.extras...)
+		if all[i].Name == platform.Worlds {
 			res.Skipped = append(res.Skipped, "Horizon Worlds not probed from Europe (available in US/Canada only)")
 		}
 	}

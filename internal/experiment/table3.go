@@ -9,6 +9,7 @@ import (
 	"github.com/svrlab/svrlab/internal/device"
 	"github.com/svrlab/svrlab/internal/packet"
 	"github.com/svrlab/svrlab/internal/platform"
+	"github.com/svrlab/svrlab/internal/runner"
 	"github.com/svrlab/svrlab/internal/stats"
 )
 
@@ -34,18 +35,27 @@ type Table3Result struct {
 // avatar share uses the paper's differencing method (§5.2): measure U1's
 // downlink alone (T), then with U2 joined mutely (T'), and attribute T'-T
 // to U2's avatar embodiment and motion.
-func Table3(seed int64, repeats int) *Table3Result {
+func Table3(seed int64, repeats int, workers int) *Table3Result {
 	if repeats <= 0 {
 		repeats = 5
 	}
+	// One cell per (platform, repeat): the chat session and the differencing
+	// session, both private labs seeded exactly as the serial sweep.
+	all := platform.All()
+	type t3cell struct{ up, down, avatar float64 }
+	cells := runner.Map(workers, len(all)*repeats, func(i int) t3cell {
+		p, r := all[i/repeats], i%repeats
+		up, down := twoUserRates(p, seed+int64(r)*101)
+		return t3cell{up: up, down: down, avatar: avatarShare(p, seed+int64(r)*101)}
+	})
 	res := &Table3Result{Repeats: repeats}
-	for _, p := range platform.All() {
+	for pi, p := range all {
 		var ups, downs, avatars []float64
 		for r := 0; r < repeats; r++ {
-			up, down := twoUserRates(p, seed+int64(r)*101)
-			ups = append(ups, up)
-			downs = append(downs, down)
-			avatars = append(avatars, avatarShare(p, seed+int64(r)*101))
+			c := cells[pi*repeats+r]
+			ups = append(ups, c.up)
+			downs = append(downs, c.down)
+			avatars = append(avatars, c.avatar)
 		}
 		us, ds, as := stats.Summarize(ups), stats.Summarize(downs), stats.Summarize(avatars)
 		res.Rows = append(res.Rows, Table3Row{

@@ -424,14 +424,12 @@ func (c *Client) PerformGesture(g avatar.Gesture) {
 	c.gestureUntil = c.Dep.Sched.Now() + 2*time.Second
 }
 
-var actionCounter uint32
-
 // PerformAction triggers a marked user action (the §7 finger-touch): after
 // the device's sender-side processing latency, a marked avatar update goes
-// out. Returns the action id for trace correlation.
+// out. Returns the action id for trace correlation. Action ids are
+// deployment-local so concurrent labs never share counter state.
 func (c *Client) PerformAction() uint32 {
-	actionCounter++
-	id := actionCounter
+	id := c.Dep.nextActionID()
 	tr := c.Dep.Trace(id)
 	tr.TriggeredAtLocal = c.ReadClock()
 	L := c.Profile.Latency

@@ -49,6 +49,9 @@ type Deployment struct {
 
 	// traces collects latency-rig observations keyed by action id.
 	traces map[uint32]*ActionTrace
+	// actionSeq allocates deployment-local action ids; keeping it here (not
+	// package-level) makes concurrent labs race-free and ids reproducible.
+	actionSeq uint32
 
 	nextHostIdx int
 	lbCounter   int
@@ -333,6 +336,13 @@ func (d *Deployment) resolve(p *Profile, set *serverSet, from *netsim.Site, lbIn
 
 // Backend returns a platform's shared room registry.
 func (d *Deployment) Backend(n Name) *Backend { return d.backends[n] }
+
+// nextActionID allocates the next action id for this deployment's latency
+// rig.
+func (d *Deployment) nextActionID() uint32 {
+	d.actionSeq++
+	return d.actionSeq
+}
 
 // Trace returns (creating if needed) the latency trace for an action.
 func (d *Deployment) Trace(id uint32) *ActionTrace {

@@ -1,0 +1,97 @@
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestMapCollectsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		got := Map(workers, 50, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(4, 0, func(i int) int { return i }); got != nil {
+		t.Fatalf("Map over 0 items = %v, want nil", got)
+	}
+}
+
+func TestMapSerialOrder(t *testing.T) {
+	// With 1 worker the calls happen inline, in index order.
+	var order []int
+	Map(1, 5, func(i int) int { order = append(order, i); return i })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	Map(workers, 64, func(i int) int {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer inFlight.Add(-1)
+		return i
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak in-flight %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestPoolRunsAllJobs(t *testing.T) {
+	p := NewPool(4)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	for i := 0; i < 32; i++ {
+		i := i
+		p.Submit(func() {
+			mu.Lock()
+			seen[i] = true
+			mu.Unlock()
+		})
+	}
+	p.Wait()
+	if len(seen) != 32 {
+		t.Fatalf("ran %d jobs, want 32", len(seen))
+	}
+	p.Wait() // second Wait is a no-op
+}
+
+func TestPoolSubmitAfterWaitPanics(t *testing.T) {
+	p := NewPool(1)
+	p.Wait()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit after Wait did not panic")
+		}
+	}()
+	p.Submit(func() {})
+}

@@ -176,6 +176,57 @@ func TestTickerRepeatsAndCancels(t *testing.T) {
 	}
 }
 
+// Cancelling a ticker from inside its own tick callback must stop the
+// rescheduling immediately: no further ticks fire.
+func TestTickerCancelDuringTick(t *testing.T) {
+	s := NewScheduler()
+	ticks := 0
+	var cancel func()
+	cancel = s.Ticker(50*time.Millisecond, func() {
+		ticks++
+		cancel() // cancel from within the tick itself
+	})
+	s.RunUntil(time.Second)
+	if ticks != 1 {
+		t.Fatalf("got %d ticks after cancel-during-tick, want 1", ticks)
+	}
+	// Cancelling again is a no-op.
+	cancel()
+	s.RunUntil(2 * time.Second)
+	if ticks != 1 {
+		t.Fatalf("ticker resumed after cancel: %d ticks", ticks)
+	}
+}
+
+// RunUntil must skip cancelled events sitting at the head of the queue and
+// still advance the clock to the horizon.
+func TestRunUntilWithCancelledHeadEvents(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	e1 := s.At(100*time.Millisecond, func() { t.Error("cancelled head event fired") })
+	e2 := s.At(200*time.Millisecond, func() { t.Error("cancelled head event fired") })
+	s.At(300*time.Millisecond, func() { fired = true })
+	s.Cancel(e1)
+	s.Cancel(e2)
+	s.RunUntil(time.Second)
+	if !fired {
+		t.Fatal("live event behind cancelled heads did not fire")
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("Now() = %v, want 1s", s.Now())
+	}
+	// A queue left holding only cancelled events must also drain cleanly.
+	e3 := s.At(1500*time.Millisecond, func() { t.Error("cancelled event fired") })
+	s.Cancel(e3)
+	s.RunUntil(2 * time.Second)
+	if s.Now() != 2*time.Second {
+		t.Fatalf("Now() = %v, want 2s", s.Now())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", s.Pending())
+	}
+}
+
 func TestTickerNonPositiveIntervalPanics(t *testing.T) {
 	s := NewScheduler()
 	defer func() {

@@ -47,12 +47,34 @@ func Summarize(xs []float64) Summary {
 			ss += d * d
 		}
 		s.Std = math.Sqrt(ss / float64(len(xs)-1))
-		// Normal approximation; with the paper's >=20 repeats the t and z
-		// quantiles differ by <5%.
-		s.CI95 = 1.96 * s.Std / math.Sqrt(float64(len(xs)))
+		// Student-t critical value at the actual degrees of freedom: the
+		// sweeps default to 3 repeats, where the normal approximation
+		// (z=1.96 vs t=4.303 at df=2) undercovers the paper's Figure
+		// 7/8/9/11 confidence bands badly.
+		s.CI95 = tCrit95(len(xs)-1) * s.Std / math.Sqrt(float64(len(xs)))
 	}
 	s.Median = Percentile(xs, 50)
 	return s
+}
+
+// t95 holds the two-tailed 95% Student-t critical values for degrees of
+// freedom 1..30; beyond 30 the normal quantile 1.96 is within 2%.
+var t95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCrit95 returns the two-tailed 95% critical value for df degrees of
+// freedom (z beyond the table; df < 1 yields 0, matching "no interval").
+func tCrit95(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= len(t95) {
+		return t95[df-1]
+	}
+	return 1.96
 }
 
 // Percentile returns the p-th percentile (0..100) using linear
@@ -113,18 +135,30 @@ func LinearFit(xs, ys []float64) (a, b, r2 float64, ok bool) {
 }
 
 // Pearson returns the correlation coefficient of two equal-length series, or
-// 0 if it is undefined.
+// 0 if it is undefined. It is a single pass over the data: r = sxy/√(sxx·syy)
+// carries its own sign, so no refit is needed.
 func Pearson(xs, ys []float64) float64 {
-	_, _, r2, ok := LinearFit(xs, ys)
-	if !ok {
+	if len(xs) != len(ys) || len(xs) < 2 {
 		return 0
 	}
-	_, b, _, _ := LinearFit(xs, ys)
-	r := math.Sqrt(r2)
-	if b < 0 {
-		return -r
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
 	}
-	return r
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
 }
 
 // TimeSeries is a sequence of (time, value) samples with a fixed bucket
@@ -147,16 +181,36 @@ func (ts *TimeSeries) At(t time.Duration) float64 {
 	return ts.Values[i]
 }
 
-// Window returns the values whose bucket start lies in [from, to).
+// Window returns the values whose bucket start lies in [from, to). The
+// bucket index arithmetic matches At: bucket i starts at Start + i*Step. The
+// returned slice aliases the series' backing array; callers must not mutate
+// it.
 func (ts *TimeSeries) Window(from, to time.Duration) []float64 {
-	var out []float64
-	for i, v := range ts.Values {
-		t := ts.Start + time.Duration(i)*ts.Step
-		if t >= from && t < to {
-			out = append(out, v)
-		}
+	if ts.Step <= 0 || len(ts.Values) == 0 || to <= from {
+		return nil
 	}
-	return out
+	// lo: first bucket with start >= from; hi: first bucket with start >= to.
+	lo := ceilDiv(from-ts.Start, ts.Step)
+	hi := ceilDiv(to-ts.Start, ts.Step)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(ts.Values) {
+		hi = len(ts.Values)
+	}
+	if lo >= hi {
+		return nil
+	}
+	return ts.Values[lo:hi:hi]
+}
+
+// ceilDiv returns ceil(a/b) for b > 0, correct for negative a (Go integer
+// division truncates toward zero, so the adjustment applies only to a > 0).
+func ceilDiv(a, b time.Duration) int {
+	if a <= 0 {
+		return int(a / b)
+	}
+	return int((a + b - 1) / b)
 }
 
 // MeanInWindow averages the series over [from, to).

@@ -39,6 +39,45 @@ func TestSummarizeEdgeCases(t *testing.T) {
 	}
 }
 
+// CI95 must use the Student-t critical value at the sample's degrees of
+// freedom: the sweeps default to 3 repeats, where z badly undercovers.
+func TestSummarizeCI95StudentT(t *testing.T) {
+	cases := []struct {
+		n    int
+		crit float64
+	}{
+		{2, 12.706}, // df=1
+		{3, 4.303},  // df=2, the default Repeats
+		{4, 3.182},
+		{21, 2.086}, // df=20
+		{31, 2.042}, // df=30, last table entry
+		{32, 1.96},  // beyond the table: z
+	}
+	for _, c := range cases {
+		xs := make([]float64, c.n)
+		for i := range xs {
+			xs[i] = float64(i % 2) // alternating 0/1: nonzero variance
+		}
+		s := Summarize(xs)
+		want := c.crit * s.Std / math.Sqrt(float64(c.n))
+		if !almost(s.CI95, want, 1e-9) {
+			t.Errorf("n=%d: CI95 = %v, want %v (t=%v)", c.n, s.CI95, want, c.crit)
+		}
+	}
+}
+
+func TestTCrit95(t *testing.T) {
+	if v := tCrit95(0); v != 0 {
+		t.Fatalf("tCrit95(0) = %v", v)
+	}
+	if v := tCrit95(2); !almost(v, 4.303, 1e-9) {
+		t.Fatalf("tCrit95(2) = %v", v)
+	}
+	if v := tCrit95(1000); v != 1.96 {
+		t.Fatalf("tCrit95(1000) = %v", v)
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5}
 	cases := []struct{ p, want float64 }{
@@ -174,6 +213,93 @@ func TestTimeSeriesAtAndWindow(t *testing.T) {
 	}
 	if m := ts.MeanInWindow(20*time.Second, 30*time.Second); m != 0 {
 		t.Fatalf("empty window mean = %v", m)
+	}
+}
+
+func TestTimeSeriesWindowBoundaries(t *testing.T) {
+	ts := &TimeSeries{Start: 10 * time.Second, Step: time.Second, Values: []float64{1, 2, 3, 4}}
+	cases := []struct {
+		name     string
+		from, to time.Duration
+		want     []float64
+	}{
+		{"whole series", 10 * time.Second, 14 * time.Second, []float64{1, 2, 3, 4}},
+		{"from before start", 0, 12 * time.Second, []float64{1, 2}},
+		{"to past end", 12 * time.Second, time.Minute, []float64{3, 4}},
+		{"both off the ends", 0, time.Minute, []float64{1, 2, 3, 4}},
+		{"entirely before", 0, 10 * time.Second, nil},
+		{"entirely after", 14 * time.Second, time.Minute, nil},
+		{"empty interval", 12 * time.Second, 12 * time.Second, nil},
+		{"inverted interval", 13 * time.Second, 11 * time.Second, nil},
+		{"mid-bucket from rounds up", 10*time.Second + 500*time.Millisecond, 14 * time.Second, []float64{2, 3, 4}},
+		{"mid-bucket to keeps partial bucket start", 10 * time.Second, 12*time.Second + 500*time.Millisecond, []float64{1, 2, 3}},
+		{"single bucket", 11 * time.Second, 12 * time.Second, []float64{2}},
+	}
+	for _, c := range cases {
+		got := ts.Window(c.from, c.to)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: Window = %v, want %v", c.name, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: Window = %v, want %v", c.name, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// Window's index arithmetic must agree with the brute-force scan it replaced.
+func TestTimeSeriesWindowMatchesScan(t *testing.T) {
+	ts := &TimeSeries{Start: 3 * time.Second, Step: 2 * time.Second, Values: []float64{5, 6, 7, 8, 9}}
+	for from := time.Duration(0); from <= 16*time.Second; from += 500 * time.Millisecond {
+		for to := time.Duration(0); to <= 16*time.Second; to += 500 * time.Millisecond {
+			var want []float64
+			for i, v := range ts.Values {
+				bt := ts.Start + time.Duration(i)*ts.Step
+				if bt >= from && bt < to {
+					want = append(want, v)
+				}
+			}
+			got := ts.Window(from, to)
+			if len(got) != len(want) {
+				t.Fatalf("Window(%v,%v) = %v, want %v", from, to, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("Window(%v,%v) = %v, want %v", from, to, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPearsonUndefined(t *testing.T) {
+	// Constant series have zero variance: correlation is undefined, so 0.
+	if r := Pearson([]float64{1, 2, 3}, []float64{4, 4, 4}); r != 0 {
+		t.Fatalf("Pearson with zero y-variance = %v", r)
+	}
+	if r := Pearson([]float64{2, 2, 2}, []float64{1, 2, 3}); r != 0 {
+		t.Fatalf("Pearson with zero x-variance = %v", r)
+	}
+	if r := Pearson([]float64{1, 2}, []float64{1}); r != 0 {
+		t.Fatalf("Pearson with length mismatch = %v", r)
+	}
+}
+
+func TestPearsonPartialCorrelation(t *testing.T) {
+	// A non-perfect correlation exercises the single-pass formula beyond ±1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 1, 4, 3, 6}
+	r := Pearson(xs, ys)
+	if r <= 0 || r >= 1 {
+		t.Fatalf("Pearson = %v, want in (0,1)", r)
+	}
+	// r² must equal LinearFit's coefficient of determination.
+	_, _, r2, ok := LinearFit(xs, ys)
+	if !ok || !almost(r*r, r2, 1e-9) {
+		t.Fatalf("r²=%v, LinearFit r2=%v", r*r, r2)
 	}
 }
 

@@ -71,6 +71,11 @@ type Options struct {
 	Platform Platform
 	// Counts overrides user-count sweeps where applicable.
 	Counts []int
+	// Workers bounds the worker pool that fans independent simulation cells
+	// out across CPUs (0 = GOMAXPROCS). Results are bit-identical at any
+	// worker count: every cell owns a private Lab with a serially-derived
+	// seed, and outputs are collected by index.
+	Workers int
 }
 
 // Info describes a runnable experiment.
@@ -97,13 +102,13 @@ var registry = []runner{
 		return experiment.Table1()
 	}},
 	{Info{"table2", "Table 2 + §4.2", "Network protocols and infrastructure"}, func(o Options) Result {
-		return experiment.Table2(o.Seed)
+		return experiment.Table2(o.Seed, o.Workers)
 	}},
 	{Info{"fig2", "Figure 2", "Control vs data channel timeline"}, func(o Options) Result {
 		return experiment.Fig2(pick(o.Platform, VRChat), o.Seed)
 	}},
 	{Info{"table3", "Table 3", "Two-user throughput and avatar share"}, func(o Options) Result {
-		return experiment.Table3(o.Seed, o.Repeats)
+		return experiment.Table3(o.Seed, o.Repeats, o.Workers)
 	}},
 	{Info{"fig3", "Figure 3", "Direct-forwarding evidence (U1 up ≈ U2 down)"}, func(o Options) Result {
 		return experiment.Fig3(pick(o.Platform, RecRoom), o.Seed)
@@ -114,24 +119,27 @@ var registry = []runner{
 	{Info{"fig6b", "Figure 6(f)", "AltspaceVR corner-facing viewport variant"}, func(o Options) Result {
 		return experiment.Fig6(pick(o.Platform, AltspaceVR), experiment.Fig6FacingCorner, o.Seed)
 	}},
+	{Info{"fig6all", "Figure 6 (a-f)", "All join-scalability panels, fanned out"}, func(o Options) Result {
+		return experiment.Fig6Panels(o.Seed, o.Workers)
+	}},
 	{Info{"fig7", "Figures 7+8", "Public-event scaling: throughput, FPS, CPU/GPU/memory"}, func(o Options) Result {
 		counts := o.Counts
 		if len(counts) == 0 {
 			counts = experiment.PaperUserCounts
 		}
-		return experiment.Scaling(pick(o.Platform, VRChat), counts, o.Repeats, o.Seed)
+		return experiment.Scaling(pick(o.Platform, VRChat), counts, o.Repeats, o.Seed, o.Workers)
 	}},
 	{Info{"fig9", "Figure 9", "Large-scale private-Hubs event (≤28 users)"}, func(o Options) Result {
-		return experiment.Fig9(o.Counts, o.Repeats, o.Seed)
+		return experiment.Fig9(o.Counts, o.Repeats, o.Seed, o.Workers)
 	}},
 	{Info{"viewport", "§6.1", "AltspaceVR viewport-width detection"}, func(o Options) Result {
 		return experiment.Viewport(pick(o.Platform, AltspaceVR), o.Seed)
 	}},
 	{Info{"table4", "Table 4", "End-to-end latency breakdown (incl. private Hubs)"}, func(o Options) Result {
-		return experiment.Table4(o.Seed, o.Repeats)
+		return experiment.Table4(o.Seed, o.Repeats, o.Workers)
 	}},
 	{Info{"fig11", "Figure 11", "Latency scalability (2-7 users)"}, func(o Options) Result {
-		return experiment.Fig11(pick(o.Platform, RecRoom), o.Repeats, o.Seed)
+		return experiment.Fig11(pick(o.Platform, RecRoom), o.Repeats, o.Seed, o.Workers)
 	}},
 	{Info{"fig12", "Figure 12", "Worlds downlink disruption during Arena Clash"}, func(o Options) Result {
 		return experiment.Fig12(o.Seed)
@@ -146,13 +154,13 @@ var registry = []runner{
 		return experiment.DisruptLatencyLoss(o.Seed)
 	}},
 	{Info{"remote", "§6.3 ablation", "Local forwarding vs remote rendering"}, func(o Options) Result {
-		return experiment.RemoteAblation(pick(o.Platform, RecRoom), o.Counts, o.Seed)
+		return experiment.RemoteAblation(pick(o.Platform, RecRoom), o.Counts, o.Seed, o.Workers)
 	}},
 	{Info{"p2p", "§6.2 ablation", "Server forwarding vs P2P full mesh"}, func(o Options) Result {
-		return experiment.P2PAblation(pick(o.Platform, VRChat), o.Counts, o.Seed)
+		return experiment.P2PAblation(pick(o.Platform, VRChat), o.Counts, o.Seed, o.Workers)
 	}},
 	{Info{"decimate", "§6.2 ablation", "Update-rate decimation for distant avatars"}, func(o Options) Result {
-		return experiment.Decimate(pick(o.Platform, VRChat), o.Counts, o.Seed)
+		return experiment.Decimate(pick(o.Platform, VRChat), o.Counts, o.Seed, o.Workers)
 	}},
 }
 

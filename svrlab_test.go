@@ -2,6 +2,7 @@ package svrlab_test
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/svrlab/svrlab"
@@ -11,8 +12,8 @@ func TestExperimentsRegistryComplete(t *testing.T) {
 	infos := svrlab.Experiments()
 	want := []string{
 		"decimate", "disrupt-lat", "fig11", "fig12", "fig13", "fig13tcp",
-		"fig2", "fig3", "fig6", "fig6b", "fig7", "fig9", "p2p", "remote",
-		"table1", "table2", "table3", "table4", "viewport",
+		"fig2", "fig3", "fig6", "fig6all", "fig6b", "fig7", "fig9", "p2p",
+		"remote", "table1", "table2", "table3", "table4", "viewport",
 	}
 	if len(infos) != len(want) {
 		t.Fatalf("experiments = %d, want %d", len(infos), len(want))
@@ -80,6 +81,61 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 	}
 	if a.Render() == c.Render() {
 		t.Fatal("different seeds produced identical artifacts (suspicious)")
+	}
+}
+
+// TestWorkerPoolDeterminism is the runner's determinism contract: a sweep
+// run serially and the same sweep fanned out over 8 workers must produce
+// byte-identical rendered artifacts. Run under -race this also proves the
+// cells share no mutable state.
+func TestWorkerPoolDeterminism(t *testing.T) {
+	opts := func(workers int) svrlab.Options {
+		return svrlab.Options{Seed: 42, Repeats: 2, Counts: []int{1, 3}, Workers: workers}
+	}
+	serial, err := svrlab.Run("fig7", opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := svrlab.Run("fig7", opts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.Render(), parallel.Render(); s != p {
+		t.Fatalf("serial and 8-worker artifacts differ:\n--- serial ---\n%s\n--- workers=8 ---\n%s", s, p)
+	}
+}
+
+// TestConcurrentRunsAreIndependent runs the same experiment with identical
+// seeds in N goroutines at once: every lab must be fully self-contained, so
+// all renders are identical (and -race sees no shared state).
+func TestConcurrentRunsAreIndependent(t *testing.T) {
+	const goroutines = 6
+	outs := make([]string, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := svrlab.Run("fig7", svrlab.Options{
+				Seed: 7, Repeats: 2, Counts: []int{2}, Platform: svrlab.RecRoom, Workers: 1,
+			})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			outs[g] = res.Render()
+		}()
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		if outs[g] != outs[0] {
+			t.Fatalf("goroutine %d produced a different artifact:\n%s\nvs\n%s", g, outs[g], outs[0])
+		}
 	}
 }
 
