@@ -1,7 +1,7 @@
 # Tier-1 gate: everything must build, vet clean, and pass the full test
 # suite with the race detector on (the parallel experiment runner makes the
 # whole suite a concurrency test).
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench bench-save
 
 check: build vet race
 
@@ -20,3 +20,8 @@ race:
 # The full paper reproduction: one benchmark per table/figure.
 bench:
 	go test -bench=. -benchmem
+
+# Same run, archived: newline-delimited go-test JSON events, one file per
+# day, for tracking perf drift across PRs.
+bench-save:
+	go test -json -bench=. -benchmem > BENCH_$$(date +%Y%m%d).json

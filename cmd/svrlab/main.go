@@ -15,6 +15,8 @@
 //	-users a,b,c   user-count sweep override
 //	-workers N     worker pool size for parallel sweeps (0 = GOMAXPROCS);
 //	               any value yields bit-identical artifacts
+//	-metrics       print the lab's metrics table (drops, queueing delay,
+//	               retransmits, ...) after each artifact
 package main
 
 import (
@@ -41,6 +43,7 @@ func main() {
 	users := fs.String("users", "", "comma-separated user counts")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	format := fs.String("format", "text", "output format: text or json")
+	metrics := fs.Bool("metrics", false, "print the metrics table after each artifact")
 
 	switch cmd {
 	case "list":
@@ -57,12 +60,16 @@ func main() {
 			os.Exit(2)
 		}
 		opts := buildOpts(*seed, *repeats, *platformName, *users, *workers)
+		if *metrics {
+			opts.Metrics = svrlab.NewMetricsRegistry()
+		}
 		res, err := svrlab.Run(id, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		emit(res, *format)
+		emitMetrics(opts.Metrics)
 	case "all":
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
@@ -70,12 +77,17 @@ func main() {
 		opts := buildOpts(*seed, *repeats, *platformName, *users, *workers)
 		for _, info := range svrlab.Experiments() {
 			fmt.Printf("==== %s (%s) ====\n", info.ID, info.Artifact)
+			// A fresh registry per experiment keeps the tables comparable.
+			if *metrics {
+				opts.Metrics = svrlab.NewMetricsRegistry()
+			}
 			res, err := svrlab.Run(info.ID, opts)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			emit(res, *format)
+			emitMetrics(opts.Metrics)
 			fmt.Println()
 		}
 	default:
@@ -98,6 +110,15 @@ func emit(res svrlab.Result, format string) {
 	default:
 		fmt.Print(res.Render())
 	}
+}
+
+// emitMetrics prints the sorted metrics table when -metrics was given.
+func emitMetrics(reg *svrlab.MetricsRegistry) {
+	if reg == nil {
+		return
+	}
+	fmt.Println("\n-- metrics --")
+	fmt.Print(reg.Snapshot().String())
 }
 
 func buildOpts(seed int64, repeats int, platformName, users string, workers int) svrlab.Options {
@@ -131,6 +152,6 @@ func usage() {
 
 usage:
   svrlab list
-  svrlab run <experiment-id> [-seed N] [-repeats N] [-platform P] [-users a,b,c] [-workers N]
+  svrlab run <experiment-id> [-seed N] [-repeats N] [-platform P] [-users a,b,c] [-workers N] [-metrics]
   svrlab all [flags]`)
 }

@@ -5,6 +5,7 @@
 package capture
 
 import (
+	"sort"
 	"time"
 
 	"github.com/svrlab/svrlab/internal/netsim"
@@ -19,13 +20,17 @@ type Record struct {
 	Wire []byte
 	// pkt is the lazily-decoded form (gopacket-style lazy decoding).
 	pkt *packet.Packet
+	// undecodable caches a failed decode so malformed wire bytes are
+	// parsed at most once, however often analysis revisits the record.
+	undecodable bool
 }
 
 // Packet decodes the record (cached). Undecodable records return nil.
 func (r *Record) Packet() *packet.Packet {
-	if r.pkt == nil {
+	if r.pkt == nil && !r.undecodable {
 		p, err := packet.Decode(r.Wire)
 		if err != nil {
+			r.undecodable = true
 			return nil
 		}
 		r.pkt = p
@@ -57,8 +62,16 @@ func (s *Sniffer) Pause() { s.active = false }
 // Resume restarts recording.
 func (s *Sniffer) Resume() { s.active = true }
 
-// Clear discards captured records.
-func (s *Sniffer) Clear() { s.Records = s.Records[:0] }
+// Clear discards captured records. The elements are zeroed before the
+// slice is truncated so the retained backing array does not pin every
+// captured wire buffer and decoded packet (long sessions clear between
+// measurement phases and would otherwise hold the whole history live).
+func (s *Sniffer) Clear() {
+	for i := range s.Records {
+		s.Records[i] = Record{}
+	}
+	s.Records = s.Records[:0]
+}
 
 // Match selects packets for analysis. Either field may be zero-valued to
 // match everything in that dimension.
@@ -123,14 +136,22 @@ func (m Match) accepts(r *Record) bool {
 	return true
 }
 
+// span binary-searches the [lo, hi) record index range whose timestamps
+// fall in [from, to). Records are appended in nondecreasing timestamp
+// order (the tap runs on the scheduler, whose clock is monotonic), so
+// window queries never need to scan outside the span.
+func (s *Sniffer) span(from, to time.Duration) (lo, hi int) {
+	lo = sort.Search(len(s.Records), func(i int) bool { return s.Records[i].TS >= from })
+	hi = sort.Search(len(s.Records), func(i int) bool { return s.Records[i].TS >= to })
+	return lo, hi
+}
+
 // Bytes sums wire bytes of matching records in [from, to).
 func (s *Sniffer) Bytes(m Match, from, to time.Duration) int {
 	total := 0
-	for i := range s.Records {
+	lo, hi := s.span(from, to)
+	for i := lo; i < hi; i++ {
 		r := &s.Records[i]
-		if r.TS < from || r.TS >= to {
-			continue
-		}
 		if m.accepts(r) {
 			total += len(r.Wire)
 		}
@@ -141,9 +162,9 @@ func (s *Sniffer) Bytes(m Match, from, to time.Duration) int {
 // Packets counts matching records in [from, to).
 func (s *Sniffer) Packets(m Match, from, to time.Duration) int {
 	n := 0
-	for i := range s.Records {
-		r := &s.Records[i]
-		if r.TS >= from && r.TS < to && m.accepts(r) {
+	lo, hi := s.span(from, to)
+	for i := lo; i < hi; i++ {
+		if m.accepts(&s.Records[i]) {
 			n++
 		}
 	}
@@ -158,9 +179,10 @@ func (s *Sniffer) Series(m Match, from, to, bucket time.Duration) stats.TimeSeri
 	}
 	n := int((to - from + bucket - 1) / bucket)
 	vals := make([]float64, n)
-	for i := range s.Records {
+	lo, hi := s.span(from, to)
+	for i := lo; i < hi; i++ {
 		r := &s.Records[i]
-		if r.TS < from || r.TS >= to || !m.accepts(r) {
+		if !m.accepts(r) {
 			continue
 		}
 		idx := int((r.TS - from) / bucket)

@@ -207,3 +207,146 @@ func TestRemoteEndpointsDiscovery(t *testing.T) {
 		t.Fatalf("remotes = %v", remotes)
 	}
 }
+
+// mkWire marshals a minimal valid UDP packet with the given payload size.
+func mkWire(payload int) []byte {
+	return (&packet.Packet{
+		IP:      packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: packet.MustParseAddr("10.0.0.2"), Dst: packet.MustParseAddr("10.0.0.3")},
+		UDP:     &packet.UDP{SrcPort: 1000, DstPort: 2000},
+		Payload: make([]byte, payload),
+	}).Marshal()
+}
+
+func TestUndecodableRecordCachesFailure(t *testing.T) {
+	s := &Sniffer{Records: []Record{{TS: 0, Wire: []byte{0xde, 0xad}}}}
+	r := &s.Records[0]
+	if r.Packet() != nil {
+		t.Fatal("garbage wire decoded")
+	}
+	// The failure must be cached: swap in decodable bytes and confirm
+	// Packet does not re-run the decoder on a known-bad record.
+	r.Wire = mkWire(10)
+	if r.Packet() != nil {
+		t.Fatal("decode re-attempted after a cached failure")
+	}
+	// A fresh record with the same bytes decodes fine (the cache is
+	// per-record, not global).
+	fresh := Record{TS: 0, Wire: mkWire(10)}
+	if fresh.Packet() == nil {
+		t.Fatal("valid wire failed to decode")
+	}
+}
+
+func TestClearReleasesCapturedMemory(t *testing.T) {
+	r := newRig(t)
+	r.sendUDP(time.Second, 100)
+	r.sendTCPDown(2*time.Second, 50)
+	r.s.Run()
+	if len(r.sniff.Records) != 2 {
+		t.Fatalf("records = %d", len(r.sniff.Records))
+	}
+	// Decode one so both wire bytes and a decoded packet are held.
+	if r.sniff.Records[0].Packet() == nil {
+		t.Fatal("decode failed")
+	}
+	backing := r.sniff.Records[:2]
+	r.sniff.Clear()
+	for i := range backing {
+		if backing[i].Wire != nil || backing[i].pkt != nil {
+			t.Fatalf("Clear pinned record %d in the retained backing array", i)
+		}
+	}
+	// The sniffer keeps capturing after Clear.
+	r.sendUDP(3*time.Second, 25)
+	r.s.Run()
+	if len(r.sniff.Records) != 1 {
+		t.Fatalf("post-Clear records = %d, want 1", len(r.sniff.Records))
+	}
+	if p := r.sniff.Records[0].Packet(); p == nil || p.UDP == nil {
+		t.Fatal("post-Clear record did not decode")
+	}
+}
+
+// TestWindowQueriesMatchFullScanOracle checks the binary-searched window
+// queries against a full-scan oracle across bucket boundaries, duplicate
+// timestamps, and out-of-range windows.
+func TestWindowQueriesMatchFullScanOracle(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	s := &Sniffer{}
+	// Nondecreasing timestamps with duplicates sitting exactly on window
+	// and bucket edges.
+	for i, spec := range []struct {
+		ts  time.Duration
+		dir netsim.Dir
+		pay int
+	}{
+		{ms(0), netsim.DirUp, 10},
+		{ms(10), netsim.DirUp, 20},
+		{ms(10), netsim.DirDown, 30},
+		{ms(20), netsim.DirUp, 40},
+		{ms(25), netsim.DirDown, 50},
+		{ms(30), netsim.DirUp, 60},
+		{ms(30), netsim.DirUp, 70},
+		{ms(100), netsim.DirDown, 80},
+	} {
+		_ = i
+		s.Records = append(s.Records, Record{TS: spec.ts, Dir: spec.dir, Wire: mkWire(spec.pay)})
+	}
+
+	oracleBytes := func(m Match, from, to time.Duration) int {
+		total := 0
+		for i := range s.Records {
+			r := &s.Records[i]
+			if r.TS >= from && r.TS < to && m.accepts(r) {
+				total += len(r.Wire)
+			}
+		}
+		return total
+	}
+	oraclePackets := func(m Match, from, to time.Duration) int {
+		n := 0
+		for i := range s.Records {
+			r := &s.Records[i]
+			if r.TS >= from && r.TS < to && m.accepts(r) {
+				n++
+			}
+		}
+		return n
+	}
+
+	windows := [][2]time.Duration{
+		{0, 0},             // empty
+		{0, ms(10)},        // to lands on a duplicate timestamp
+		{ms(10), ms(30)},   // both edges on record timestamps
+		{ms(25), ms(25)},   // empty, from on a record
+		{ms(30), ms(31)},   // duplicate pair exactly at from
+		{ms(99), ms(100)},  // excludes the ts==100ms record
+		{0, ms(200)},       // everything
+		{ms(150), ms(200)}, // past the capture
+	}
+	matches := []Match{{}, MatchUp(nil), MatchDown(nil), {Filter: FilterProto(packet.ProtoUDP)}}
+	for _, w := range windows {
+		for mi, m := range matches {
+			if got, want := s.Bytes(m, w[0], w[1]), oracleBytes(m, w[0], w[1]); got != want {
+				t.Errorf("Bytes match %d window %v: got %d, oracle %d", mi, w, got, want)
+			}
+			if got, want := s.Packets(m, w[0], w[1]), oraclePackets(m, w[0], w[1]); got != want {
+				t.Errorf("Packets match %d window %v: got %d, oracle %d", mi, w, got, want)
+			}
+		}
+	}
+
+	// Series: every bucket must equal a per-bucket oracle Bytes sum.
+	from, to, bucket := ms(0), ms(40), ms(10)
+	ts := s.Series(MatchUp(nil), from, to, bucket)
+	if len(ts.Values) != 4 {
+		t.Fatalf("buckets = %d", len(ts.Values))
+	}
+	for i, v := range ts.Values {
+		b0 := from + time.Duration(i)*bucket
+		want := float64(oracleBytes(MatchUp(nil), b0, b0+bucket)*8) / bucket.Seconds()
+		if v != want {
+			t.Errorf("Series bucket %d: got %v, oracle %v", i, v, want)
+		}
+	}
+}

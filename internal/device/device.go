@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/simtime"
 )
 
@@ -207,9 +208,16 @@ type Monitor struct {
 
 // Attach starts per-second sampling.
 func Attach(s *simtime.Scheduler, h *Headset) *Monitor {
+	return AttachObserved(s, h, nil)
+}
+
+// AttachObserved is Attach plus a "device.samples" counter in m (which may
+// be nil, for uncounted sampling).
+func AttachObserved(s *simtime.Scheduler, h *Headset, reg *obs.Registry) *Monitor {
 	m := &Monitor{}
 	m.stop = s.Ticker(time.Second, func() {
 		m.Samples = append(m.Samples, h.Instant(s.Now(), time.Second))
+		reg.Inc("device.samples")
 	})
 	return m
 }

@@ -8,6 +8,7 @@ import (
 	"github.com/svrlab/svrlab/internal/capture"
 	"github.com/svrlab/svrlab/internal/device"
 	"github.com/svrlab/svrlab/internal/netsim"
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/packet"
 	"github.com/svrlab/svrlab/internal/platform"
 	"github.com/svrlab/svrlab/internal/render"
@@ -45,17 +46,17 @@ type RemoteResult struct {
 
 // RemoteAblation contrasts the measured local-rendering scaling against a
 // remote-rendering deployment for the same platform and the same events.
-func RemoteAblation(name platform.Name, counts []int, seed int64, workers int) *RemoteResult {
+func RemoteAblation(name platform.Name, counts []int, seed int64, workers int, reg *obs.Registry) *RemoteResult {
 	if len(counts) == 0 {
 		counts = []int{2, 5, 10, 15}
 	}
 	p := platform.Get(name)
 	eligible := eligibleCounts(p, counts)
-	points := runner.Map(workers, len(eligible), func(i int) RemotePoint {
+	points := runner.MapObserved(reg, workers, len(eligible), func(i int) RemotePoint {
 		n := eligible[i]
 		pt := RemotePoint{Users: n}
-		pt.LocalDownBps, pt.LocalFPS, _, _, _, _ = scalingRun(name, n, seed+int64(n))
-		pt.RemoteDownBps, pt.RemoteFramesPS, pt.RemoteFPS = remoteRun(p, n, seed+int64(n))
+		pt.LocalDownBps, pt.LocalFPS, _, _, _, _ = scalingRun(name, n, seed+int64(n), reg)
+		pt.RemoteDownBps, pt.RemoteFramesPS, pt.RemoteFPS = remoteRun(p, n, seed+int64(n), reg)
 		return pt
 	})
 	return &RemoteResult{Platform: name, Points: points}
@@ -64,8 +65,8 @@ func RemoteAblation(name platform.Name, counts []int, seed int64, workers int) *
 // remoteRun streams a rendered view from an edge server to U1 while the
 // same n-user avatar uplink still flows server-side. Only the downlink and
 // the client pipeline change.
-func remoteRun(p *platform.Profile, n int, seed int64) (downBps, framesPS, fps float64) {
-	l := NewLab(seed)
+func remoteRun(p *platform.Profile, n int, seed int64, reg *obs.Registry) (downBps, framesPS, fps float64) {
+	l := NewLabObserved(seed, reg)
 	// Edge render server near the client (the §6.3 premise: cloud/edge).
 	edge := l.Dep.AddVantage("edge-render", platform.SiteUSEast, 90)
 	edge.Up = &netsim.Link{BandwidthBps: 10e9, PropDelay: 200 * time.Microsecond, MaxQueue: 200 * time.Millisecond}
@@ -120,25 +121,25 @@ type P2PResult struct {
 }
 
 // P2PAblation measures a peer full-mesh carrying the same avatar streams.
-func P2PAblation(name platform.Name, counts []int, seed int64, workers int) *P2PResult {
+func P2PAblation(name platform.Name, counts []int, seed int64, workers int, reg *obs.Registry) *P2PResult {
 	if len(counts) == 0 {
 		counts = []int{2, 5, 10}
 	}
 	p := platform.Get(name)
 	eligible := eligibleCounts(p, counts)
-	points := runner.Map(workers, len(eligible), func(i int) P2PPoint {
+	points := runner.MapObserved(reg, workers, len(eligible), func(i int) P2PPoint {
 		n := eligible[i]
 		pt := P2PPoint{Users: n}
-		pt.ServerDownBps, _, _, _, _, _ = scalingRun(name, n, seed+int64(n))
-		pt.ServerUplinkBps = serverUplink(name, n, seed+int64(n))
-		pt.P2PUplinkBps, pt.P2PDownBps = p2pRun(p, n, seed+int64(n))
+		pt.ServerDownBps, _, _, _, _, _ = scalingRun(name, n, seed+int64(n), reg)
+		pt.ServerUplinkBps = serverUplink(name, n, seed+int64(n), reg)
+		pt.P2PUplinkBps, pt.P2PDownBps = p2pRun(p, n, seed+int64(n), reg)
 		return pt
 	})
 	return &P2PResult{Platform: name, Points: points}
 }
 
-func serverUplink(name platform.Name, n int, seed int64) float64 {
-	l := NewLab(seed ^ 0x77)
+func serverUplink(name platform.Name, n int, seed int64, reg *obs.Registry) float64 {
+	l := NewLabObserved(seed^0x77, reg)
 	p := platform.Get(name)
 	cs := l.Spawn(name, n, SpawnOpts{})
 	l.Sched.At(2*time.Second, func() { arrangeCircle(cs) })
@@ -150,8 +151,8 @@ func serverUplink(name platform.Name, n int, seed int64) float64 {
 
 // p2pRun builds an n-client full mesh where each client unicasts its avatar
 // stream to every peer directly.
-func p2pRun(p *platform.Profile, n int, seed int64) (upBps, downBps float64) {
-	l := NewLab(seed ^ 0x3c)
+func p2pRun(p *platform.Profile, n int, seed int64, reg *obs.Registry) (upBps, downBps float64) {
+	l := NewLabObserved(seed^0x3c, reg)
 	hosts := make([]*netsim.Host, n)
 	stacks := make([]*transport.Stack, n)
 	socks := make([]*transport.UDPSocket, n)

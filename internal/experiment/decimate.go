@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/svrlab/svrlab/internal/capture"
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/platform"
 	"github.com/svrlab/svrlab/internal/runner"
 )
@@ -29,7 +30,7 @@ type DecimateResult struct {
 }
 
 // Decimate measures the saving of the proposed optimization.
-func Decimate(name platform.Name, counts []int, seed int64, workers int) *DecimateResult {
+func Decimate(name platform.Name, counts []int, seed int64, workers int, reg *obs.Registry) *DecimateResult {
 	if len(counts) == 0 {
 		counts = []int{5, 10, 15}
 	}
@@ -37,10 +38,10 @@ func Decimate(name platform.Name, counts []int, seed int64, workers int) *Decima
 	const radius = 2.0 // meters; the circle arrangement spaces users wider
 	p := platform.Get(name)
 	eligible := eligibleCounts(p, counts)
-	points := runner.Map(workers, len(eligible), func(i int) DecimatePoint {
+	points := runner.MapObserved(reg, workers, len(eligible), func(i int) DecimatePoint {
 		n := eligible[i]
-		full := decimateRun(name, n, seed+int64(n), nil)
-		dec := decimateRun(name, n, seed+int64(n), &platform.DecimationPolicy{Factor: factor, InteractRadius: radius})
+		full := decimateRun(name, n, seed+int64(n), nil, reg)
+		dec := decimateRun(name, n, seed+int64(n), &platform.DecimationPolicy{Factor: factor, InteractRadius: radius}, reg)
 		pt := DecimatePoint{Users: n, FullDownBps: full, DecimatedBps: dec}
 		if full > 0 {
 			pt.SavingFraction = 1 - dec/full
@@ -50,8 +51,8 @@ func Decimate(name platform.Name, counts []int, seed int64, workers int) *Decima
 	return &DecimateResult{Platform: name, Factor: factor, Radius: radius, Points: points}
 }
 
-func decimateRun(name platform.Name, n int, seed int64, policy *platform.DecimationPolicy) float64 {
-	l := NewLab(seed)
+func decimateRun(name platform.Name, n int, seed int64, policy *platform.DecimationPolicy, reg *obs.Registry) float64 {
+	l := NewLabObserved(seed, reg)
 	p := platform.Get(name)
 	l.Dep.Backend(name).SetDecimation(policy)
 	cs := l.Spawn(name, n, SpawnOpts{})

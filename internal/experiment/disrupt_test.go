@@ -4,11 +4,13 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/platform"
 )
 
 func TestFig12DownlinkDisruption(t *testing.T) {
-	r := Fig12(141)
+	reg := obs.NewRegistry()
+	r := Fig12(141, reg)
 	if len(r.Stages) != 7 {
 		t.Fatalf("stages = %d", len(r.Stages))
 	}
@@ -53,10 +55,19 @@ func TestFig12DownlinkDisruption(t *testing.T) {
 	if out := r.Render(); !strings.Contains(out, "Figure 12") {
 		t.Fatal("render broken")
 	}
+	// The tight downlink caps must leave a trace in the fabric metrics:
+	// the shaper's bounded queue tail-drops on the impaired direction.
+	snap := reg.Snapshot()
+	if snap.Counter("netsim.drop.netem.queue.down") == 0 {
+		t.Fatalf("no downlink netem queue drops recorded under 0.1 Mbps cap; metrics:\n%s", snap)
+	}
+	if snap.Counter("netsim.packets.delivered") == 0 {
+		t.Fatal("fabric delivered-packet counter empty")
+	}
 }
 
 func TestFig13UplinkBandwidthStages(t *testing.T) {
-	r := Fig13(Fig13Bandwidth, 151)
+	r := Fig13(Fig13Bandwidth, 151, nil)
 	// Uplink honours the caps: 0.3 Mbps stage ≪ 1.5 Mbps stage.
 	up0 := r.StageMean(&r.UDPUp, 0)
 	up5 := r.StageMean(&r.UDPUp, 5)
@@ -75,7 +86,8 @@ func TestFig13UplinkBandwidthStages(t *testing.T) {
 }
 
 func TestFig13TCPOnlyControl(t *testing.T) {
-	r := Fig13(Fig13TCPOnly, 161)
+	reg := obs.NewRegistry()
+	r := Fig13(Fig13TCPOnly, 161, reg)
 	// Gaps in UDP uplink during the TCP delay stages.
 	if r.UDPGapSeconds < 10 {
 		t.Fatalf("UDP gap seconds = %d, want many (TCP-priority stalls)", r.UDPGapSeconds)
@@ -87,10 +99,20 @@ func TestFig13TCPOnlyControl(t *testing.T) {
 	if out := r.Render(); !strings.Contains(out, "frozen") {
 		t.Fatal("render broken")
 	}
+	// The delay stages stall TCP past its RTO: the metrics registry must
+	// show retransmissions and timer backoffs (the fig13 acceptance
+	// invariant — delay-induced retransmits are observable, not inferred).
+	snap := reg.Snapshot()
+	if snap.Counter("transport.retransmits") == 0 {
+		t.Fatalf("no TCP retransmits recorded during delay stages; metrics:\n%s", snap)
+	}
+	if snap.Counter("transport.rto_backoffs") == 0 {
+		t.Fatalf("no RTO backoffs recorded during delay stages; metrics:\n%s", snap)
+	}
 }
 
 func TestDisruptLatencyLossQoE(t *testing.T) {
-	r := DisruptLatencyLoss(171)
+	r := DisruptLatencyLoss(171, nil)
 	if len(r.Rows) != 3 {
 		t.Fatalf("rows = %d", len(r.Rows))
 	}
@@ -118,7 +140,7 @@ func TestDisruptLatencyLossQoE(t *testing.T) {
 }
 
 func TestRemoteRenderingAblation(t *testing.T) {
-	r := RemoteAblation(platform.RecRoom, []int{2, 8}, 181, 2)
+	r := RemoteAblation(platform.RecRoom, []int{2, 8}, 181, 2, nil)
 	if len(r.Points) != 2 {
 		t.Fatalf("points = %d", len(r.Points))
 	}
@@ -145,7 +167,7 @@ func TestRemoteRenderingAblation(t *testing.T) {
 }
 
 func TestP2PAblation(t *testing.T) {
-	r := P2PAblation(platform.VRChat, []int{2, 6}, 191, 2)
+	r := P2PAblation(platform.VRChat, []int{2, 6}, 191, 2, nil)
 	if len(r.Points) != 2 {
 		t.Fatalf("points = %d", len(r.Points))
 	}
@@ -164,7 +186,7 @@ func TestP2PAblation(t *testing.T) {
 }
 
 func TestDecimationAblation(t *testing.T) {
-	r := Decimate(platform.VRChat, []int{8}, 211, 2)
+	r := Decimate(platform.VRChat, []int{8}, 211, 2, nil)
 	if len(r.Points) != 1 {
 		t.Fatalf("points = %d", len(r.Points))
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/svrlab/svrlab/internal/netsim"
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/packet"
 	"github.com/svrlab/svrlab/internal/platform"
 	"github.com/svrlab/svrlab/internal/simtime"
@@ -28,6 +29,12 @@ type Lab struct {
 	probeOctets map[string]int
 }
 
+// Metrics returns the lab's metrics registry (never nil). When an
+// experiment was handed a shared registry, this is that registry; sweep
+// cells of one experiment then all feed the same one — safe because every
+// registry operation commutes (see package obs).
+func (l *Lab) Metrics() *obs.Registry { return l.Dep.Metrics() }
+
 // probeHost allocates a measurement host at a site with a unique address.
 func (l *Lab) probeHost(site string) *netsim.Host {
 	if l.probeOctets == nil {
@@ -41,10 +48,17 @@ func (l *Lab) probeHost(site string) *netsim.Host {
 	return l.Dep.AddVantage(fmt.Sprintf("probe-%s-%d", site, octet), site, octet)
 }
 
-// NewLab builds a deployment with the given seed.
+// NewLab builds a deployment with the given seed and a private metrics
+// registry.
 func NewLab(seed int64) *Lab {
+	return NewLabObserved(seed, nil)
+}
+
+// NewLabObserved is NewLab with an externally owned metrics registry
+// (nil gets a fresh private one).
+func NewLabObserved(seed int64, m *obs.Registry) *Lab {
 	s := simtime.NewScheduler()
-	return &Lab{Sched: s, Dep: platform.NewDeployment(s, seed), Seed: seed}
+	return &Lab{Sched: s, Dep: platform.NewDeploymentObserved(s, seed, m), Seed: seed}
 }
 
 // SpawnOpts controls client creation.

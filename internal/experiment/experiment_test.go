@@ -34,7 +34,7 @@ func TestTable1MatchesPaperFeatureMatrix(t *testing.T) {
 }
 
 func TestTable2InfrastructureShape(t *testing.T) {
-	r := Table2(21, 2)
+	r := Table2(21, 2, nil)
 	if len(r.Rows) != 5 {
 		t.Fatalf("rows = %d", len(r.Rows))
 	}
@@ -127,7 +127,7 @@ func TestTable2InfrastructureShape(t *testing.T) {
 }
 
 func TestFig2ChannelPhases(t *testing.T) {
-	r := Fig2(platform.VRChat, 33)
+	r := Fig2(platform.VRChat, 33, nil)
 	// Data channel silent on the welcome page, active in the event.
 	if w := r.WelcomeDataMean(); w > 2000 {
 		t.Fatalf("welcome data = %.0f bps, want ≈0", w)
@@ -145,7 +145,7 @@ func TestFig2ChannelPhases(t *testing.T) {
 }
 
 func TestFig2AltspaceHasPeriodicControlSpikes(t *testing.T) {
-	r := Fig2(platform.AltspaceVR, 35)
+	r := Fig2(platform.AltspaceVR, 35, nil)
 	// During the event, the control channel shows the ~10 s report spikes:
 	// several seconds with uplink activity well above the median.
 	spikes := 0
@@ -160,7 +160,7 @@ func TestFig2AltspaceHasPeriodicControlSpikes(t *testing.T) {
 }
 
 func TestTable3AvatarShares(t *testing.T) {
-	r := Table3(51, 2, 2)
+	r := Table3(51, 2, 2, nil)
 	if len(r.Rows) != 5 {
 		t.Fatalf("rows = %d", len(r.Rows))
 	}
@@ -202,7 +202,7 @@ func TestTable3AvatarShares(t *testing.T) {
 }
 
 func TestFig3ForwardingCorrelation(t *testing.T) {
-	r := Fig3(platform.RecRoom, 61)
+	r := Fig3(platform.RecRoom, 61, nil)
 	if r.MeanRatio < 0.7 || r.MeanRatio > 1.9 {
 		t.Fatalf("mean ratio = %.2f, want ≈1 (direct forwarding)", r.MeanRatio)
 	}
@@ -212,7 +212,7 @@ func TestFig3ForwardingCorrelation(t *testing.T) {
 }
 
 func TestFig6JoinStaircase(t *testing.T) {
-	r := Fig6(platform.VRChat, Fig6FacingJoiners, 71)
+	r := Fig6(platform.VRChat, Fig6FacingJoiners, 71, nil)
 	sm := r.StepMeans() // intervals: pre-join, +1, +2, +3, +4 users, post-turn
 	for i := 1; i < 5; i++ {
 		if sm[i] <= sm[i-1] {
@@ -227,7 +227,7 @@ func TestFig6JoinStaircase(t *testing.T) {
 
 func TestFig6AltspaceViewportBothVariants(t *testing.T) {
 	// Exp. 1: facing joiners — downlink rises, then falls at the turn.
-	r := Fig6(platform.AltspaceVR, Fig6FacingJoiners, 73)
+	r := Fig6(platform.AltspaceVR, Fig6FacingJoiners, 73, nil)
 	sm := r.StepMeans()
 	if sm[4] <= sm[0] {
 		t.Fatalf("no growth while facing joiners: %v", sm)
@@ -237,7 +237,7 @@ func TestFig6AltspaceViewportBothVariants(t *testing.T) {
 	}
 	// Exp. 2: facing the corner — downlink stays low despite joins, then
 	// jumps at the turn.
-	r2 := Fig6(platform.AltspaceVR, Fig6FacingCorner, 74)
+	r2 := Fig6(platform.AltspaceVR, Fig6FacingCorner, 74, nil)
 	sm2 := r2.StepMeans()
 	if sm2[4] > sm2[0]*3+3000 {
 		t.Fatalf("corner-facing downlink grew with invisible joiners: %v", sm2)
@@ -251,7 +251,7 @@ func TestFig6AltspaceViewportBothVariants(t *testing.T) {
 }
 
 func TestScalingSmall(t *testing.T) {
-	r := Scaling(platform.RecRoom, []int{1, 3, 5}, 2, 81, 3)
+	r := Scaling(platform.RecRoom, []int{1, 3, 5}, 2, 81, 3, nil)
 	if len(r.Points) != 3 {
 		t.Fatalf("points = %d", len(r.Points))
 	}
@@ -283,7 +283,7 @@ func TestScalingSmall(t *testing.T) {
 }
 
 func TestWorldsRespectsEventCap(t *testing.T) {
-	r := Scaling(platform.Worlds, []int{15, 20}, 1, 83, 2)
+	r := Scaling(platform.Worlds, []int{15, 20}, 1, 83, 2, nil)
 	// 20 exceeds the 16-user cap and must be skipped.
 	if len(r.Points) != 1 || r.Points[0].Users != 15 {
 		t.Fatalf("points = %+v, want only 15", r.Points)
@@ -291,7 +291,7 @@ func TestWorldsRespectsEventCap(t *testing.T) {
 }
 
 func TestFig9PrivateHubsLargeScale(t *testing.T) {
-	r := Fig9([]int{15, 22}, 1, 91, 2)
+	r := Fig9([]int{15, 22}, 1, 91, 2, nil)
 	if len(r.Points) != 2 {
 		t.Fatalf("points = %d", len(r.Points))
 	}
@@ -307,7 +307,7 @@ func TestFig9PrivateHubsLargeScale(t *testing.T) {
 }
 
 func TestViewportWidthDetection(t *testing.T) {
-	r := Viewport(platform.AltspaceVR, 101)
+	r := Viewport(platform.AltspaceVR, 101, nil)
 	if r.EstimatedWidthDeg < 112 || r.EstimatedWidthDeg > 190 {
 		t.Fatalf("estimated width = %.1f°, want ≈150", r.EstimatedWidthDeg)
 	}
@@ -315,7 +315,7 @@ func TestViewportWidthDetection(t *testing.T) {
 		t.Fatalf("saving = %.2f, want ≈0.58", r.MaxSavingFrac)
 	}
 	// Control platform: no modulation.
-	r2 := Viewport(platform.RecRoom, 102)
+	r2 := Viewport(platform.RecRoom, 102, nil)
 	if r2.MaxSavingFrac != 0 {
 		t.Fatalf("Rec Room shows viewport modulation: %+v", r2)
 	}

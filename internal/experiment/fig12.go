@@ -7,6 +7,7 @@ import (
 
 	"github.com/svrlab/svrlab/internal/capture"
 	"github.com/svrlab/svrlab/internal/disrupt"
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/packet"
 	"github.com/svrlab/svrlab/internal/platform"
 	"github.com/svrlab/svrlab/internal/plot"
@@ -28,8 +29,8 @@ type Fig12Result struct {
 // Fig12 reproduces the §8.1 downlink experiment on Worlds: two users in a
 // shooting game, U1's downlink capped at 1/0.7/0.5/0.3/0.2/0.1 Mbps for
 // 40 s each, then released.
-func Fig12(seed int64) *Fig12Result {
-	l := NewLab(seed)
+func Fig12(seed int64, reg *obs.Registry) *Fig12Result {
+	l := NewLabObserved(seed, reg)
 	name := platform.Worlds
 	cs := l.Spawn(name, 2, SpawnOpts{})
 	l.Sched.At(5*time.Second, func() {

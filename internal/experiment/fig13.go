@@ -7,6 +7,7 @@ import (
 
 	"github.com/svrlab/svrlab/internal/capture"
 	"github.com/svrlab/svrlab/internal/disrupt"
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/packet"
 	"github.com/svrlab/svrlab/internal/platform"
 	"github.com/svrlab/svrlab/internal/plot"
@@ -42,8 +43,8 @@ type Fig13Result struct {
 }
 
 // Fig13 reproduces the §8.1 uplink experiments on Worlds in game mode.
-func Fig13(mode Fig13Mode, seed int64) *Fig13Result {
-	l := NewLab(seed)
+func Fig13(mode Fig13Mode, seed int64, reg *obs.Registry) *Fig13Result {
+	l := NewLabObserved(seed, reg)
 	cs := l.Spawn(platform.Worlds, 2, SpawnOpts{})
 	l.Sched.At(5*time.Second, func() {
 		arrangeCircle(cs)
@@ -165,25 +166,25 @@ type DisruptQoERow struct {
 }
 
 // DisruptLatencyLoss reproduces §8.2 for the three shooting-game platforms.
-func DisruptLatencyLoss(seed int64) *DisruptQoEResult {
+func DisruptLatencyLoss(seed int64, reg *obs.Registry) *DisruptQoEResult {
 	res := &DisruptQoEResult{}
 	for _, name := range []platform.Name{platform.Worlds, platform.RecRoom, platform.VRChat} {
 		p := platform.Get(name)
 		row := DisruptQoERow{Platform: name, Game: p.Game.Name}
-		base := measureLatency(name, 2, 8, seed, false)
+		base := measureLatency(name, 2, 8, seed, false, reg)
 		row.BaselineE2EMs = base.E2E.Mean
 		for _, added := range []int{50, 100, 200} {
 			row.AddedMs = append(row.AddedMs, added)
-			row.E2EMs = append(row.E2EMs, latencyWithDelay(name, added, seed+int64(added)))
+			row.E2EMs = append(row.E2EMs, latencyWithDelay(name, added, seed+int64(added), reg))
 		}
-		row.DeliveredAt20PctLoss = deliveryUnderLoss(name, 0.20, seed^0x44)
+		row.DeliveredAt20PctLoss = deliveryUnderLoss(name, 0.20, seed^0x44, reg)
 		res.Rows = append(res.Rows, row)
 	}
 	return res
 }
 
-func latencyWithDelay(name platform.Name, addedMs int, seed int64) float64 {
-	l := NewLab(seed)
+func latencyWithDelay(name platform.Name, addedMs int, seed int64, reg *obs.Registry) float64 {
+	l := NewLabObserved(seed, reg)
 	cs := make([]*platform.Client, 2)
 	for i := range cs {
 		c := platform.NewClient(l.Dep, name, fmt.Sprintf("u%d", i+1), platform.SiteCampus, 10+i)
@@ -224,17 +225,17 @@ func latencyWithDelay(name platform.Name, addedMs int, seed int64) float64 {
 
 // deliveryUnderLoss measures the fraction of avatar forwards that still
 // arrive at U1 under downlink random loss.
-func deliveryUnderLoss(name platform.Name, loss float64, seed int64) float64 {
-	baseline := forwardsIn40s(name, 0, seed)
-	lossy := forwardsIn40s(name, loss, seed)
+func deliveryUnderLoss(name platform.Name, loss float64, seed int64, reg *obs.Registry) float64 {
+	baseline := forwardsIn40s(name, 0, seed, reg)
+	lossy := forwardsIn40s(name, loss, seed, reg)
 	if baseline == 0 {
 		return 0
 	}
 	return float64(lossy) / float64(baseline)
 }
 
-func forwardsIn40s(name platform.Name, loss float64, seed int64) int {
-	l := NewLab(seed)
+func forwardsIn40s(name platform.Name, loss float64, seed int64, reg *obs.Registry) int {
+	l := NewLabObserved(seed, reg)
 	cs := l.Spawn(name, 2, SpawnOpts{})
 	if loss > 0 {
 		l.Sched.At(3*time.Second, func() {

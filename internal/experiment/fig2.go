@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/svrlab/svrlab/internal/capture"
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/packet"
 	"github.com/svrlab/svrlab/internal/platform"
 	"github.com/svrlab/svrlab/internal/plot"
@@ -26,8 +27,8 @@ type Fig2Result struct {
 // data channels by server endpoint and protocol, as the capture analysis in
 // §4.1 does. The Hubs initial scene download (>100 Mbit/s) is excluded, as
 // in the paper.
-func Fig2(name platform.Name, seed int64) *Fig2Result {
-	l := NewLab(seed)
+func Fig2(name platform.Name, seed int64, reg *obs.Registry) *Fig2Result {
+	l := NewLabObserved(seed, reg)
 	p := platform.Get(name)
 	const joinAt = 90 * time.Second
 	const total = 180 * time.Second

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/svrlab/svrlab/internal/capture"
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/platform"
 	"github.com/svrlab/svrlab/internal/plot"
 	"github.com/svrlab/svrlab/internal/runner"
@@ -37,8 +38,8 @@ type Fig6Result struct {
 
 // Fig6 reproduces the §6.1 controlled experiment: U2-U5 join at 50, 100,
 // 150, 200 s; at 250 s U1 turns around. All users join mutely.
-func Fig6(name platform.Name, variant Fig6Variant, seed int64) *Fig6Result {
-	l := NewLab(seed)
+func Fig6(name platform.Name, variant Fig6Variant, seed int64, reg *obs.Registry) *Fig6Result {
+	l := NewLabObserved(seed, reg)
 	p := platform.Get(name)
 	const total = 300 * time.Second
 	turnAt := 250 * time.Second
@@ -104,13 +105,13 @@ type Fig6PanelsResult struct {
 // the AltspaceVR corner variant. Each panel is an independent 300 s Lab, so
 // the six cells fan out across the worker pool; output keeps the paper's
 // panel order.
-func Fig6Panels(seed int64, workers int) *Fig6PanelsResult {
+func Fig6Panels(seed int64, workers int, reg *obs.Registry) *Fig6PanelsResult {
 	all := platform.All()
-	panels := runner.Map(workers, len(all)+1, func(i int) *Fig6Result {
+	panels := runner.MapObserved(reg, workers, len(all)+1, func(i int) *Fig6Result {
 		if i < len(all) {
-			return Fig6(all[i].Name, Fig6FacingJoiners, seed)
+			return Fig6(all[i].Name, Fig6FacingJoiners, seed, reg)
 		}
-		return Fig6(platform.AltspaceVR, Fig6FacingCorner, seed)
+		return Fig6(platform.AltspaceVR, Fig6FacingCorner, seed, reg)
 	})
 	return &Fig6PanelsResult{Panels: panels}
 }

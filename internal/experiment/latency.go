@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/platform"
 	"github.com/svrlab/svrlab/internal/runner"
 	"github.com/svrlab/svrlab/internal/stats"
@@ -31,26 +32,26 @@ type Table4Result struct {
 // paper's method: trigger an action on U1, record frame-accurate display on
 // U2, synchronize the two headset clocks through the AP, and break the path
 // down with trace timestamps.
-func Table4(seed int64, repeats int, workers int) *Table4Result {
+func Table4(seed int64, repeats int, workers int, reg *obs.Registry) *Table4Result {
 	if repeats <= 0 {
 		repeats = 20
 	}
 	// One cell per platform row plus the private-Hubs row (Hubs*), each its
 	// own Lab, fanned out and collected in the paper's row order.
 	all := platform.All()
-	rows := runner.Map(workers, len(all)+1, func(i int) LatencyBreakdown {
+	rows := runner.MapObserved(reg, workers, len(all)+1, func(i int) LatencyBreakdown {
 		if i < len(all) {
-			return measureLatency(all[i].Name, 2, repeats, seed, false)
+			return measureLatency(all[i].Name, 2, repeats, seed, false, reg)
 		}
-		return measureLatency(platform.Hubs, 2, repeats, seed^0x9a, true)
+		return measureLatency(platform.Hubs, 2, repeats, seed^0x9a, true, reg)
 	})
 	return &Table4Result{Rows: rows}
 }
 
 // measureLatency runs `repeats` marked actions in an n-user event and
 // decomposes the latency.
-func measureLatency(name platform.Name, n, repeats int, seed int64, private bool) LatencyBreakdown {
-	l := NewLab(seed)
+func measureLatency(name platform.Name, n, repeats int, seed int64, private bool, reg *obs.Registry) LatencyBreakdown {
+	l := NewLabObserved(seed, reg)
 	if private {
 		l.Dep.DeployPrivateHubs(platform.SiteUSEast)
 	}
@@ -129,14 +130,14 @@ type Fig11Result struct {
 
 // Fig11 measures E2E latency at event sizes 2-7 (paper Figure 11), one
 // worker-pool cell per event size.
-func Fig11(name platform.Name, repeats int, seed int64, workers int) *Fig11Result {
+func Fig11(name platform.Name, repeats int, seed int64, workers int, reg *obs.Registry) *Fig11Result {
 	if repeats <= 0 {
 		repeats = 10
 	}
 	const minUsers, maxUsers = 2, 7
-	rows := runner.Map(workers, maxUsers-minUsers+1, func(i int) LatencyBreakdown {
+	rows := runner.MapObserved(reg, workers, maxUsers-minUsers+1, func(i int) LatencyBreakdown {
 		n := minUsers + i
-		return measureLatency(name, n, repeats, seed+int64(n)*1337, false)
+		return measureLatency(name, n, repeats, seed+int64(n)*1337, false, reg)
 	})
 	res := &Fig11Result{Platform: name}
 	for i, row := range rows {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/svrlab/svrlab/internal/capture"
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/platform"
 	"github.com/svrlab/svrlab/internal/runner"
 	"github.com/svrlab/svrlab/internal/stats"
@@ -44,7 +45,7 @@ type scaleCell struct {
 // (Worlds: 16). Every (user-count, repeat) cell runs its own Lab, so cells
 // fan out across the worker pool; seeds and output order are identical to
 // the serial sweep.
-func Scaling(name platform.Name, counts []int, repeats int, seed int64, workers int) *ScalingResult {
+func Scaling(name platform.Name, counts []int, repeats int, seed int64, workers int, reg *obs.Registry) *ScalingResult {
 	if repeats <= 0 {
 		repeats = 3
 	}
@@ -55,9 +56,9 @@ func Scaling(name platform.Name, counts []int, repeats int, seed int64, workers 
 			eligible = append(eligible, n)
 		}
 	}
-	cells := runner.Map(workers, len(eligible)*repeats, func(i int) scaleCell {
+	cells := runner.MapObserved(reg, workers, len(eligible)*repeats, func(i int) scaleCell {
 		n, rep := eligible[i/repeats], i%repeats
-		d, f, c, g, m, bd := scalingRun(name, n, seed+int64(rep)*977+int64(n))
+		d, f, c, g, m, bd := scalingRun(name, n, seed+int64(rep)*977+int64(n), reg)
 		return scaleCell{d, f, c, g, m, bd}
 	})
 	res := &ScalingResult{Platform: name, Repeats: repeats}
@@ -86,8 +87,8 @@ func Scaling(name platform.Name, counts []int, repeats int, seed int64, workers 
 
 // scalingRun is one event: n users in a circle, everyone visible, measured
 // over a 40 s steady window.
-func scalingRun(name platform.Name, n int, seed int64) (downBps, fps, cpu, gpu, mem, battDrain float64) {
-	l := NewLab(seed)
+func scalingRun(name platform.Name, n int, seed int64, reg *obs.Registry) (downBps, fps, cpu, gpu, mem, battDrain float64) {
+	l := NewLabObserved(seed, reg)
 	p := platform.Get(name)
 	cs := l.Spawn(name, n, SpawnOpts{})
 	l.Sched.At(2*time.Second, func() { arrangeCircle(cs) })
@@ -141,16 +142,16 @@ func (r *ScalingResult) Render() string {
 
 // Fig9 runs the large-scale private-Hubs event (paper Figure 9, 15-28
 // users) against a self-hosted server. Cells fan out like Scaling's.
-func Fig9(counts []int, repeats int, seed int64, workers int) *ScalingResult {
+func Fig9(counts []int, repeats int, seed int64, workers int, reg *obs.Registry) *ScalingResult {
 	if len(counts) == 0 {
 		counts = []int{15, 20, 25, 28}
 	}
 	if repeats <= 0 {
 		repeats = 2
 	}
-	cells := runner.Map(workers, len(counts)*repeats, func(i int) scaleCell {
+	cells := runner.MapObserved(reg, workers, len(counts)*repeats, func(i int) scaleCell {
 		n, rep := counts[i/repeats], i%repeats
-		d, f := fig9Run(n, seed+int64(rep)*31+int64(n))
+		d, f := fig9Run(n, seed+int64(rep)*31+int64(n), reg)
 		return scaleCell{down: d, fps: f}
 	})
 	res := &ScalingResult{Platform: platform.Hubs, Repeats: repeats, Private: true}
@@ -169,8 +170,8 @@ func Fig9(counts []int, repeats int, seed int64, workers int) *ScalingResult {
 	return res
 }
 
-func fig9Run(n int, seed int64) (downBps, fps float64) {
-	l := NewLab(seed)
+func fig9Run(n int, seed int64, reg *obs.Registry) (downBps, fps float64) {
+	l := NewLabObserved(seed, reg)
 	l.Dep.DeployPrivateHubs(platform.SiteUSEast)
 	cs := make([]*platform.Client, n)
 	for i := 0; i < n; i++ {

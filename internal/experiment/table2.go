@@ -7,6 +7,7 @@ import (
 
 	"github.com/svrlab/svrlab/internal/capture"
 	"github.com/svrlab/svrlab/internal/geo"
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/packet"
 	"github.com/svrlab/svrlab/internal/platform"
 	"github.com/svrlab/svrlab/internal/probe"
@@ -53,7 +54,7 @@ type Table2Result struct {
 // classify each channel's protocol from wire bytes, measure RTT with
 // ICMP/TCP ping (or WebRTC stats where both fail, as for the Hubs SFU), and
 // infer anycast from three geo-distributed vantage points.
-func Table2(seed int64, workers int) *Table2Result {
+func Table2(seed int64, workers int, reg *obs.Registry) *Table2Result {
 	// One fan-out cell per platform: the campus probe session plus the
 	// extra-vantage sessions, each building private labs. Rows, extras and
 	// notes are assembled in the canonical platform order regardless of
@@ -63,9 +64,9 @@ func Table2(seed int64, workers int) *Table2Result {
 		row    Table2Row
 		extras []RemoteRTT
 	}
-	cells := runner.Map(workers, len(all), func(i int) t2cell {
+	cells := runner.MapObserved(reg, workers, len(all), func(i int) t2cell {
 		p := all[i]
-		return t2cell{row: probePlatform(p, seed), extras: probeExtraVantages(p, seed)}
+		return t2cell{row: probePlatform(p, seed, reg), extras: probeExtraVantages(p, seed, reg)}
 	})
 	res := &Table2Result{}
 	for i, c := range cells {
@@ -161,8 +162,8 @@ func matchAccepts(m capture.Match, r *capture.Record) bool {
 	return m.Filter == nil || m.Filter(pk)
 }
 
-func probePlatform(p *platform.Profile, seed int64) Table2Row {
-	l := NewLab(seed)
+func probePlatform(p *platform.Profile, seed int64, reg *obs.Registry) Table2Row {
+	l := NewLabObserved(seed, reg)
 	cs := l.Spawn(p.Name, 2, SpawnOpts{})
 	sniff := capture.Attach(cs[0].Host)
 	l.Sched.RunUntil(20 * time.Second)
@@ -245,14 +246,14 @@ func inferAnycastFor(l *Lab, server packet.Addr) bool {
 }
 
 // probeExtraVantages reproduces the §4.2 western-US and Europe checks.
-func probeExtraVantages(p *platform.Profile, seed int64) []RemoteRTT {
+func probeExtraVantages(p *platform.Profile, seed int64, reg *obs.Registry) []RemoteRTT {
 	var out []RemoteRTT
 	sites := []string{platform.SiteLA, platform.SiteEurope}
 	for _, sn := range sites {
 		if p.Name == platform.Worlds && sn == platform.SiteEurope {
 			continue // Worlds is US/Canada-only
 		}
-		l := NewLab(seed + int64(len(sn)))
+		l := NewLabObserved(seed+int64(len(sn)), reg)
 		cs := spawnAt(l, p.Name, sn)
 		sniff := capture.Attach(cs[0].Host)
 		l.Sched.RunUntil(20 * time.Second)

@@ -7,6 +7,7 @@ import (
 
 	"github.com/svrlab/svrlab/internal/capture"
 	"github.com/svrlab/svrlab/internal/device"
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/packet"
 	"github.com/svrlab/svrlab/internal/platform"
 	"github.com/svrlab/svrlab/internal/runner"
@@ -35,7 +36,7 @@ type Table3Result struct {
 // avatar share uses the paper's differencing method (§5.2): measure U1's
 // downlink alone (T), then with U2 joined mutely (T'), and attribute T'-T
 // to U2's avatar embodiment and motion.
-func Table3(seed int64, repeats int, workers int) *Table3Result {
+func Table3(seed int64, repeats int, workers int, reg *obs.Registry) *Table3Result {
 	if repeats <= 0 {
 		repeats = 5
 	}
@@ -43,10 +44,10 @@ func Table3(seed int64, repeats int, workers int) *Table3Result {
 	// session, both private labs seeded exactly as the serial sweep.
 	all := platform.All()
 	type t3cell struct{ up, down, avatar float64 }
-	cells := runner.Map(workers, len(all)*repeats, func(i int) t3cell {
+	cells := runner.MapObserved(reg, workers, len(all)*repeats, func(i int) t3cell {
 		p, r := all[i/repeats], i%repeats
-		up, down := twoUserRates(p, seed+int64(r)*101)
-		return t3cell{up: up, down: down, avatar: avatarShare(p, seed+int64(r)*101)}
+		up, down := twoUserRates(p, seed+int64(r)*101, reg)
+		return t3cell{up: up, down: down, avatar: avatarShare(p, seed+int64(r)*101, reg)}
 	})
 	res := &Table3Result{Repeats: repeats}
 	for pi, p := range all {
@@ -71,8 +72,8 @@ func Table3(seed int64, repeats int, workers int) *Table3Result {
 
 // twoUserRates measures U1's steady data-channel rates with two unmuted
 // walking users.
-func twoUserRates(p *platform.Profile, seed int64) (up, down float64) {
-	l := NewLab(seed)
+func twoUserRates(p *platform.Profile, seed int64, reg *obs.Registry) (up, down float64) {
+	l := NewLabObserved(seed, reg)
 	cs := l.Spawn(p.Name, 2, SpawnOpts{Voice: true, Wander: true})
 	sniff := capture.Attach(cs[0].Host)
 	l.Sched.RunUntil(70 * time.Second)
@@ -85,8 +86,8 @@ func twoUserRates(p *platform.Profile, seed int64) (up, down float64) {
 // avatarShare runs the paper's differencing experiment: U1 alone (downlink
 // T), then U2 joins mutely (downlink T'); the difference is U2's avatar
 // stream.
-func avatarShare(p *platform.Profile, seed int64) float64 {
-	l := NewLab(seed ^ 0x717)
+func avatarShare(p *platform.Profile, seed int64, reg *obs.Registry) float64 {
+	l := NewLabObserved(seed^0x717, reg)
 	u1 := platform.NewClient(l.Dep, p.Name, "u1", platform.SiteCampus, 10)
 	u1.Muted = true
 	u1.Wander = true
@@ -138,8 +139,8 @@ type Fig3Result struct {
 
 // Fig3 measures instantaneous U1-uplink and U2-downlink series and their
 // correlation on one platform (the paper shows Rec Room and Worlds).
-func Fig3(name platform.Name, seed int64) *Fig3Result {
-	l := NewLab(seed)
+func Fig3(name platform.Name, seed int64, reg *obs.Registry) *Fig3Result {
+	l := NewLabObserved(seed, reg)
 	p := platform.Get(name)
 	cs := l.Spawn(name, 2, SpawnOpts{Voice: true, Wander: true})
 	s1 := capture.Attach(cs[0].Host)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/svrlab/svrlab/internal/capture"
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/platform"
 	"github.com/svrlab/svrlab/internal/world"
 )
@@ -26,8 +27,8 @@ type ViewportResult struct {
 // Viewport reproduces the detection experiment: U1 starts with its back to
 // U2 and snap-turns one 22.5° click at a time; the downlink reveals at which
 // offsets the server forwards U2's avatar.
-func Viewport(name platform.Name, seed int64) *ViewportResult {
-	l := NewLab(seed)
+func Viewport(name platform.Name, seed int64, reg *obs.Registry) *ViewportResult {
+	l := NewLabObserved(seed, reg)
 	p := platform.Get(name)
 	res := &ViewportResult{Platform: name}
 

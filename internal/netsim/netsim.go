@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/svrlab/svrlab/internal/geo"
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/packet"
 	"github.com/svrlab/svrlab/internal/simtime"
 )
@@ -83,13 +84,16 @@ type Link struct {
 // if it enters at now, honouring serialization, queueing, and tail drop.
 // Delivery is FIFO: jitter never reorders packets within a link (reordering
 // would make TCP see phantom loss via duplicate ACKs).
-func (l *Link) transmit(now time.Duration, size int, rng *rand.Rand) (arrive time.Duration, dropped bool) {
+// The returned qdelay is how long the packet waited for the link to free
+// up before serialization began.
+func (l *Link) transmit(now time.Duration, size int, rng *rand.Rand) (arrive, qdelay time.Duration, dropped bool) {
 	start := now
 	if l.busyUntil > start {
 		start = l.busyUntil
 	}
-	if l.MaxQueue > 0 && start-now > l.MaxQueue {
-		return 0, true
+	qdelay = start - now
+	if l.MaxQueue > 0 && qdelay > l.MaxQueue {
+		return 0, qdelay, true
 	}
 	var tx time.Duration
 	if l.BandwidthBps > 0 {
@@ -104,7 +108,7 @@ func (l *Link) transmit(now time.Duration, size int, rng *rand.Rand) (arrive tim
 		arrive = l.lastArrive
 	}
 	l.lastArrive = arrive
-	return arrive, false
+	return arrive, qdelay, false
 }
 
 // Site is a routing location: a point of presence with a router address.
@@ -156,6 +160,9 @@ type Network struct {
 	Sched    *simtime.Scheduler
 	Rng      *rand.Rand
 	Registry *geo.Registry
+	// Metrics receives fabric-level counters and histograms (drops by
+	// cause, per-link-class queueing delay, ICMP errors). Never nil.
+	Metrics *obs.Registry
 
 	sites   []*Site
 	hosts   map[packet.Addr]*Host
@@ -167,12 +174,24 @@ type Network struct {
 	ipid uint16
 }
 
-// New creates an empty network bound to a scheduler and seeded RNG.
+// New creates an empty network bound to a scheduler and seeded RNG, with a
+// private metrics registry.
 func New(s *simtime.Scheduler, seed int64) *Network {
+	return NewObserved(s, seed, nil)
+}
+
+// NewObserved is New with an externally owned metrics registry, so one
+// registry can span the whole deployment (or sweep cell). A nil m gets a
+// fresh private registry.
+func NewObserved(s *simtime.Scheduler, seed int64, m *obs.Registry) *Network {
+	if m == nil {
+		m = obs.NewRegistry()
+	}
 	return &Network{
 		Sched:      s,
 		Rng:        rand.New(rand.NewSource(seed)),
 		Registry:   geo.NewRegistry(),
+		Metrics:    m,
 		hosts:      make(map[packet.Addr]*Host),
 		anycast:    make(map[packet.Addr][]*Host),
 		routeCache: make(map[int]map[int][]*Site),
@@ -359,11 +378,13 @@ func (n *Network) Send(h *Host, pkt *packet.Packet) bool {
 	dst, ok := n.hosts[pkt.IP.Dst]
 	if !ok {
 		if dst, ok = n.ResolveAnycast(pkt.IP.Dst, h.Site); !ok {
+			n.Metrics.Inc("netsim.packets.unroutable")
 			return false
 		}
 	}
 	path := n.sitePath(h.Site, dst.Site)
 	if path == nil {
+		n.Metrics.Inc("netsim.packets.unroutable")
 		return false
 	}
 
@@ -372,11 +393,12 @@ func (n *Network) Send(h *Host, pkt *packet.Packet) bool {
 	now := n.Sched.Now()
 	h.SentPackets++
 	h.SentBytes += size
+	n.Metrics.Inc("netsim.packets.sent")
 
 	// Uplink netem first (loss, shaping, delay)...
 	depart := now
 	if h.UpNetem.matches(pkt) {
-		d, drop := n.applyNetem(h.UpNetem, depart, size)
+		d, drop := n.applyNetem(h.UpNetem, depart, size, "up")
 		if drop {
 			return true // consumed (dropped) — still "sent"
 		}
@@ -385,10 +407,12 @@ func (n *Network) Send(h *Host, pkt *packet.Packet) bool {
 	// ...then tap and access link at departure time.
 	emit := func() {
 		h.runTaps(n.Sched.Now(), DirUp, wire)
-		arrive, drop := h.Up.transmit(n.Sched.Now(), size, n.Rng)
+		arrive, qd, drop := h.Up.transmit(n.Sched.Now(), size, n.Rng)
 		if drop {
+			n.Metrics.Inc("netsim.drop.link.access_up")
 			return
 		}
+		n.Metrics.ObserveDuration("netsim.qdelay.access_up", qd)
 		n.Sched.At(arrive, func() { n.forward(pkt, h, dst, path, 0, size) })
 	}
 	if depart <= now {
@@ -400,9 +424,10 @@ func (n *Network) Send(h *Host, pkt *packet.Packet) bool {
 }
 
 // applyNetem applies loss, rate limiting and delay; returns new departure
-// time or drop.
-func (n *Network) applyNetem(ne *Netem, now time.Duration, size int) (time.Duration, bool) {
+// time or drop. dir ("up"/"down") labels the drop-cause counters.
+func (n *Network) applyNetem(ne *Netem, now time.Duration, size int, dir string) (time.Duration, bool) {
 	if ne.Loss > 0 && n.Rng.Float64() < ne.Loss {
+		n.Metrics.Inc("netsim.drop.netem.loss." + dir)
 		return 0, true
 	}
 	depart := now
@@ -414,6 +439,7 @@ func (n *Network) applyNetem(ne *Netem, now time.Duration, size int) (time.Durat
 		// Bounded shaping queue: beyond 250 ms of backlog the shaper tail-drops,
 		// as tbf/netem with a finite limit would.
 		if start-now > 250*time.Millisecond {
+			n.Metrics.Inc("netsim.drop.netem.queue." + dir)
 			return 0, true
 		}
 		tx := time.Duration(float64(size*8) / ne.RateBps * float64(time.Second))
@@ -437,12 +463,14 @@ func (n *Network) forward(pkt *packet.Packet, src, dst *Host, path []*Site, hopI
 	if hopIdx == len(path)-1 {
 		// Final site: cross the destination access link.
 		depart := n.Sched.Now() + perHopCost
-		arrive, drop := dst.Down.transmit(depart, size, n.Rng)
+		arrive, qd, drop := dst.Down.transmit(depart, size, n.Rng)
 		if drop {
+			n.Metrics.Inc("netsim.drop.link.access_down")
 			return
 		}
+		n.Metrics.ObserveDuration("netsim.qdelay.access_down", qd)
 		if dst.DownNetem.matches(pkt) {
-			d, dropped := n.applyNetem(dst.DownNetem, arrive, size)
+			d, dropped := n.applyNetem(dst.DownNetem, arrive, size, "down")
 			if dropped {
 				return
 			}
@@ -453,10 +481,12 @@ func (n *Network) forward(pkt *packet.Packet, src, dst *Host, path []*Site, hopI
 	}
 	next := path[hopIdx+1]
 	l := site.neighbors[next]
-	arrive, drop := l.transmit(n.Sched.Now()+perHopCost, size, n.Rng)
+	arrive, qd, drop := l.transmit(n.Sched.Now()+perHopCost, size, n.Rng)
 	if drop {
+		n.Metrics.Inc("netsim.drop.link.backbone")
 		return
 	}
+	n.Metrics.ObserveDuration("netsim.qdelay.backbone", qd)
 	n.Sched.At(arrive, func() { n.forward(pkt, src, dst, path, hopIdx+1, size) })
 }
 
@@ -464,6 +494,7 @@ func (n *Network) deliver(dst *Host, pkt *packet.Packet) {
 	wire := pkt.Marshal()
 	dst.RecvPackets++
 	dst.RecvBytes += len(wire)
+	n.Metrics.Inc("netsim.packets.delivered")
 	dst.runTaps(n.Sched.Now(), DirDown, wire)
 	if dst.Handler != nil {
 		dst.Handler(pkt)
@@ -485,6 +516,7 @@ func (n *Network) sendICMPError(from packet.Addr, to *Host, orig *packet.Packet,
 		ICMP:    &packet.ICMP{Type: icmpType, Code: code, ID: orig.IP.ID},
 		Payload: quoted,
 	}
+	n.countICMP(icmpType)
 	// Reverse delay: locate the router's site and sum path back.
 	var rsite *Site
 	for _, s := range n.sites {
@@ -522,7 +554,19 @@ func (n *Network) SendICMPFromHost(h *Host, orig *packet.Packet, icmpType, code 
 		ICMP:    &packet.ICMP{Type: icmpType, Code: code, ID: orig.IP.ID},
 		Payload: quoted,
 	}
+	n.countICMP(icmpType)
 	n.Send(h, reply)
+}
+
+func (n *Network) countICMP(icmpType uint8) {
+	switch icmpType {
+	case packet.ICMPTimeExceeded:
+		n.Metrics.Inc("netsim.icmp.time_exceeded")
+	case packet.ICMPDestUnreach:
+		n.Metrics.Inc("netsim.icmp.dest_unreach")
+	default:
+		n.Metrics.Inc("netsim.icmp.other")
+	}
 }
 
 // PathRouters exposes the router addresses a packet from h to dst would

@@ -162,7 +162,7 @@ func (c *Client) Launch() {
 		}
 	})
 	// Device monitoring runs for the whole session.
-	c.Monitor = device.Attach(c.Dep.Sched, c.Headset)
+	c.Monitor = device.AttachObserved(c.Dep.Sched, c.Headset, c.Dep.Metrics())
 	c.stops = append(c.stops, c.Dep.Sched.Ticker(time.Second, c.sceneTick))
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"github.com/svrlab/svrlab/internal/geo"
 	"github.com/svrlab/svrlab/internal/netsim"
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/packet"
 	"github.com/svrlab/svrlab/internal/simtime"
 )
@@ -118,9 +119,19 @@ func (t *ActionTrace) Receiver(user string) *ReceiverTrace {
 // NewDeployment builds the default world: seven sites, the five platforms'
 // fleets, and the geolocation/WHOIS registry.
 func NewDeployment(sched *simtime.Scheduler, seed int64) *Deployment {
+	return NewDeploymentObserved(sched, seed, nil)
+}
+
+// Metrics returns the deployment's metrics registry (the fabric's; never
+// nil).
+func (d *Deployment) Metrics() *obs.Registry { return d.Net.Metrics }
+
+// NewDeploymentObserved is NewDeployment with an externally owned metrics
+// registry threaded into the fabric (nil gets a fresh private one).
+func NewDeploymentObserved(sched *simtime.Scheduler, seed int64, m *obs.Registry) *Deployment {
 	d := &Deployment{
 		Sched:    sched,
-		Net:      netsim.New(sched, seed),
+		Net:      netsim.NewObserved(sched, seed, m),
 		Sites:    make(map[string]*netsim.Site),
 		backends: make(map[Name]*Backend),
 		control:  make(map[Name]*serverSet),

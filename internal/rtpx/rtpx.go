@@ -91,6 +91,7 @@ func (s *Stream) tick() {
 	}, payload)
 	s.sock.SendTo(s.remote, b)
 	s.VoiceSent++
+	s.sock.Metrics().Inc("rtpx.voice_sent")
 }
 
 func (s *Stream) sendSR() {
@@ -100,6 +101,7 @@ func (s *Stream) sendSR() {
 		LSR:  compactNTP(s.sched.Now()),
 	})
 	s.sock.SendTo(s.remote, sr)
+	s.sock.Metrics().Inc("rtpx.rtcp_sr_sent")
 }
 
 func (s *Stream) onPacket(b []byte) {
@@ -127,6 +129,7 @@ func (s *Stream) onPacket(b []byte) {
 			if rtt > 0 {
 				s.RTT = rtt
 				s.RTTSamples = append(s.RTTSamples, rtt)
+				s.sock.Metrics().Inc("rtpx.rtt_samples")
 			}
 		}
 		return
@@ -136,6 +139,7 @@ func (s *Stream) onPacket(b []byte) {
 		return
 	}
 	s.VoiceRecv++
+	s.sock.Metrics().Inc("rtpx.voice_recv")
 	if s.OnVoice != nil {
 		s.OnVoice(h.Seq, payload)
 	}

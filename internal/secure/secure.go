@@ -97,6 +97,8 @@ func (s *Session) sendNow(data []byte) {
 		}
 		s.conn.Send(packet.MarshalTLSRecord(packet.TLSApplicationData, data[:n]))
 		s.AppBytesSent += n
+		s.conn.Metrics().Inc("secure.records_sent")
+		s.conn.Metrics().Add("secure.app_bytes_sent", int64(n))
 		data = data[n:]
 	}
 }
@@ -124,6 +126,8 @@ func (s *Session) onRaw(b []byte) {
 			s.onHandshake(body)
 		case packet.TLSApplicationData:
 			s.AppBytesRecv += len(body)
+			s.conn.Metrics().Inc("secure.records_recv")
+			s.conn.Metrics().Add("secure.app_bytes_recv", int64(len(body)))
 			if s.OnData != nil {
 				s.OnData(append([]byte(nil), body...))
 			}
@@ -139,6 +143,7 @@ func (s *Session) onHandshake(body []byte) {
 			fin[0] = 20
 			s.conn.Send(packet.MarshalTLSRecord(packet.TLSHandshake, fin))
 			s.ready = true
+			s.conn.Metrics().Inc("secure.handshakes")
 			if s.OnEstablished != nil {
 				s.OnEstablished()
 			}
@@ -156,6 +161,7 @@ func (s *Session) onHandshake(body []byte) {
 	if len(body) > 0 && body[0] == 20 { // client Finished
 		if !s.ready {
 			s.ready = true
+			s.conn.Metrics().Inc("secure.handshakes")
 			if s.OnEstablished != nil {
 				s.OnEstablished()
 			}

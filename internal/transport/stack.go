@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"github.com/svrlab/svrlab/internal/netsim"
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/packet"
 )
 
@@ -111,6 +112,10 @@ type UDPSocket struct {
 	OnRecv func(src packet.Endpoint, payload []byte)
 	closed bool
 }
+
+// Metrics exposes the per-lab registry of the owning network, so layers
+// above the socket (rtpx) can record without extra plumbing.
+func (u *UDPSocket) Metrics() *obs.Registry { return u.stack.Net.Metrics }
 
 // BindUDP binds a UDP socket. Port 0 picks an ephemeral port.
 func (s *Stack) BindUDP(port uint16) (*UDPSocket, error) {

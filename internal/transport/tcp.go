@@ -3,6 +3,7 @@ package transport
 import (
 	"time"
 
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/packet"
 	"github.com/svrlab/svrlab/internal/simtime"
 )
@@ -111,6 +112,21 @@ type Conn struct {
 	DataRecv    int
 }
 
+// Metrics exposes the per-lab registry of the owning network, so layers
+// above the connection (secure, rtpx) can record without extra plumbing.
+func (c *Conn) Metrics() *obs.Registry { return c.stack.Net.Metrics }
+
+// countRetransmit is the single accounting point for retransmitted
+// segments, whichever path (RTO go-back-N, handshake retry, fast
+// retransmit, NewReno partial ACK) triggered them.
+func (c *Conn) countRetransmit() {
+	c.Retransmits++
+	c.Metrics().Inc("transport.retransmits")
+}
+
+// noteCwnd records the congestion-window high-water mark.
+func (c *Conn) noteCwnd() { c.Metrics().SetMax("transport.cwnd_max_bytes", c.cwnd) }
+
 // State returns the connection state.
 func (c *Conn) State() ConnState { return c.state }
 
@@ -137,6 +153,7 @@ func (s *Stack) DialTCP(dst packet.Endpoint) *Conn {
 	c.iss = uint32(s.Net.Rng.Int63())
 	c.sndUna, c.sndNxt = c.iss, c.iss
 	s.conns[connKey{c.Local.Port, dst}] = c
+	s.Net.Metrics.Inc("transport.conns_dialed")
 	c.sendSeg(&packet.TCP{Flags: packet.FlagSYN, Seq: c.iss}, nil)
 	c.sndNxt++ // SYN consumes a sequence number
 	c.armRTO()
@@ -170,6 +187,7 @@ func (s *Stack) handleTCP(p *packet.Packet) {
 		c.iss = uint32(s.Net.Rng.Int63())
 		c.sndUna, c.sndNxt = c.iss, c.iss
 		s.conns[key] = c
+		s.Net.Metrics.Inc("transport.conns_accepted")
 		c.sendSeg(&packet.TCP{Flags: packet.FlagSYN | packet.FlagACK, Seq: c.iss, Ack: c.rcvNxt}, nil)
 		c.sndNxt++
 		c.armRTO()
@@ -263,10 +281,12 @@ func (c *Conn) onRTO() {
 	}
 	c.retries++
 	if c.retries > maxRetries {
+		c.Metrics().Inc("transport.conns_aborted")
 		c.close("too many retransmissions")
 		return
 	}
 	// Collapse the window and back off.
+	c.Metrics().Inc("transport.rto_backoffs")
 	c.ssthresh = maxf(float64(c.Unacked())/2, 2*MSS)
 	c.cwnd = MSS
 	c.inRecovery = false
@@ -279,7 +299,7 @@ func (c *Conn) onRTO() {
 		// Go-back-N: everything past the oldest hole is presumed lost.
 		// Rewind so pump() re-sends from the hole inside the collapsed
 		// window; slow start then re-grows toward ssthresh.
-		c.Retransmits++
+		c.countRetransmit()
 		c.sndNxt = c.sndUna
 		c.pump()
 	} else {
@@ -291,7 +311,7 @@ func (c *Conn) onRTO() {
 // retransmitHead resends the oldest unacknowledged segment (or control
 // packet during handshake).
 func (c *Conn) retransmitHead() {
-	c.Retransmits++
+	c.countRetransmit()
 	switch c.state {
 	case StateSynSent:
 		c.sendSeg(&packet.TCP{Flags: packet.FlagSYN, Seq: c.iss}, nil)
@@ -433,6 +453,7 @@ func (c *Conn) receive(p *packet.Packet) {
 					c.cwnd += MSS * MSS / c.cwnd // congestion avoidance
 				}
 			}
+			c.noteCwnd()
 			c.armRTO()
 			if c.Unacked() == 0 && len(c.sendBuf) == 0 && c.OnDrained != nil {
 				c.OnDrained()
@@ -442,6 +463,7 @@ func (c *Conn) receive(p *packet.Packet) {
 			c.dupAcks++
 			if c.dupAcks == 3 && !c.inRecovery {
 				// Fast retransmit + NewReno fast recovery.
+				c.Metrics().Inc("transport.fast_retransmits")
 				c.ssthresh = maxf(float64(c.Unacked())/2, 2*MSS)
 				c.cwnd = c.ssthresh + 3*MSS
 				c.inRecovery = true
@@ -451,6 +473,7 @@ func (c *Conn) receive(p *packet.Packet) {
 			} else if c.inRecovery {
 				// Window inflation keeps the pipe full during recovery.
 				c.cwnd += MSS
+				c.noteCwnd()
 				c.pump()
 			}
 		}

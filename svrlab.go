@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"github.com/svrlab/svrlab/internal/experiment"
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/platform"
 )
 
@@ -52,6 +53,20 @@ type Lab = experiment.Lab
 // NewLab creates a fresh deterministic simulation universe.
 func NewLab(seed int64) *Lab { return experiment.NewLab(seed) }
 
+// MetricsRegistry is the per-lab observability registry: counters, max
+// gauges, and bounded duration histograms recorded by every layer of the
+// stack (fabric drops and queueing, TCP retransmission behaviour, secure
+// records, voice streams, device sampling, sweep cells). There is no
+// global registry: pass one through Options.Metrics to aggregate an
+// experiment, or read a single lab's via Lab.Metrics().
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is an immutable, name-sorted view of a MetricsRegistry.
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
 // Client is a platform application instance bound to a simulated headset.
 type Client = platform.Client
 
@@ -76,6 +91,11 @@ type Options struct {
 	// worker count: every cell owns a private Lab with a serially-derived
 	// seed, and outputs are collected by index.
 	Workers int
+	// Metrics, when non-nil, aggregates every cell's counters and
+	// histograms into one registry. All registry operations commute, so
+	// the stable part of a snapshot (Snapshot().Stable()) is identical at
+	// any worker count. Nil means each lab keeps a private registry.
+	Metrics *MetricsRegistry
 }
 
 // Info describes a runnable experiment.
@@ -102,65 +122,65 @@ var registry = []runner{
 		return experiment.Table1()
 	}},
 	{Info{"table2", "Table 2 + §4.2", "Network protocols and infrastructure"}, func(o Options) Result {
-		return experiment.Table2(o.Seed, o.Workers)
+		return experiment.Table2(o.Seed, o.Workers, o.Metrics)
 	}},
 	{Info{"fig2", "Figure 2", "Control vs data channel timeline"}, func(o Options) Result {
-		return experiment.Fig2(pick(o.Platform, VRChat), o.Seed)
+		return experiment.Fig2(pick(o.Platform, VRChat), o.Seed, o.Metrics)
 	}},
 	{Info{"table3", "Table 3", "Two-user throughput and avatar share"}, func(o Options) Result {
-		return experiment.Table3(o.Seed, o.Repeats, o.Workers)
+		return experiment.Table3(o.Seed, o.Repeats, o.Workers, o.Metrics)
 	}},
 	{Info{"fig3", "Figure 3", "Direct-forwarding evidence (U1 up ≈ U2 down)"}, func(o Options) Result {
-		return experiment.Fig3(pick(o.Platform, RecRoom), o.Seed)
+		return experiment.Fig3(pick(o.Platform, RecRoom), o.Seed, o.Metrics)
 	}},
 	{Info{"fig6", "Figure 6", "Controlled join scalability + viewport turn"}, func(o Options) Result {
-		return experiment.Fig6(pick(o.Platform, AltspaceVR), experiment.Fig6FacingJoiners, o.Seed)
+		return experiment.Fig6(pick(o.Platform, AltspaceVR), experiment.Fig6FacingJoiners, o.Seed, o.Metrics)
 	}},
 	{Info{"fig6b", "Figure 6(f)", "AltspaceVR corner-facing viewport variant"}, func(o Options) Result {
-		return experiment.Fig6(pick(o.Platform, AltspaceVR), experiment.Fig6FacingCorner, o.Seed)
+		return experiment.Fig6(pick(o.Platform, AltspaceVR), experiment.Fig6FacingCorner, o.Seed, o.Metrics)
 	}},
 	{Info{"fig6all", "Figure 6 (a-f)", "All join-scalability panels, fanned out"}, func(o Options) Result {
-		return experiment.Fig6Panels(o.Seed, o.Workers)
+		return experiment.Fig6Panels(o.Seed, o.Workers, o.Metrics)
 	}},
 	{Info{"fig7", "Figures 7+8", "Public-event scaling: throughput, FPS, CPU/GPU/memory"}, func(o Options) Result {
 		counts := o.Counts
 		if len(counts) == 0 {
 			counts = experiment.PaperUserCounts
 		}
-		return experiment.Scaling(pick(o.Platform, VRChat), counts, o.Repeats, o.Seed, o.Workers)
+		return experiment.Scaling(pick(o.Platform, VRChat), counts, o.Repeats, o.Seed, o.Workers, o.Metrics)
 	}},
 	{Info{"fig9", "Figure 9", "Large-scale private-Hubs event (≤28 users)"}, func(o Options) Result {
-		return experiment.Fig9(o.Counts, o.Repeats, o.Seed, o.Workers)
+		return experiment.Fig9(o.Counts, o.Repeats, o.Seed, o.Workers, o.Metrics)
 	}},
 	{Info{"viewport", "§6.1", "AltspaceVR viewport-width detection"}, func(o Options) Result {
-		return experiment.Viewport(pick(o.Platform, AltspaceVR), o.Seed)
+		return experiment.Viewport(pick(o.Platform, AltspaceVR), o.Seed, o.Metrics)
 	}},
 	{Info{"table4", "Table 4", "End-to-end latency breakdown (incl. private Hubs)"}, func(o Options) Result {
-		return experiment.Table4(o.Seed, o.Repeats, o.Workers)
+		return experiment.Table4(o.Seed, o.Repeats, o.Workers, o.Metrics)
 	}},
 	{Info{"fig11", "Figure 11", "Latency scalability (2-7 users)"}, func(o Options) Result {
-		return experiment.Fig11(pick(o.Platform, RecRoom), o.Repeats, o.Seed, o.Workers)
+		return experiment.Fig11(pick(o.Platform, RecRoom), o.Repeats, o.Seed, o.Workers, o.Metrics)
 	}},
 	{Info{"fig12", "Figure 12", "Worlds downlink disruption during Arena Clash"}, func(o Options) Result {
-		return experiment.Fig12(o.Seed)
+		return experiment.Fig12(o.Seed, o.Metrics)
 	}},
 	{Info{"fig13", "Figure 13 (top)", "Worlds uplink bandwidth disruption"}, func(o Options) Result {
-		return experiment.Fig13(experiment.Fig13Bandwidth, o.Seed)
+		return experiment.Fig13(experiment.Fig13Bandwidth, o.Seed, o.Metrics)
 	}},
 	{Info{"fig13tcp", "Figure 13 (bottom)", "TCP-only delays and blackhole vs UDP"}, func(o Options) Result {
-		return experiment.Fig13(experiment.Fig13TCPOnly, o.Seed)
+		return experiment.Fig13(experiment.Fig13TCPOnly, o.Seed, o.Metrics)
 	}},
 	{Info{"disrupt-lat", "§8.2", "Latency and loss tolerance in shooting games"}, func(o Options) Result {
-		return experiment.DisruptLatencyLoss(o.Seed)
+		return experiment.DisruptLatencyLoss(o.Seed, o.Metrics)
 	}},
 	{Info{"remote", "§6.3 ablation", "Local forwarding vs remote rendering"}, func(o Options) Result {
-		return experiment.RemoteAblation(pick(o.Platform, RecRoom), o.Counts, o.Seed, o.Workers)
+		return experiment.RemoteAblation(pick(o.Platform, RecRoom), o.Counts, o.Seed, o.Workers, o.Metrics)
 	}},
 	{Info{"p2p", "§6.2 ablation", "Server forwarding vs P2P full mesh"}, func(o Options) Result {
-		return experiment.P2PAblation(pick(o.Platform, VRChat), o.Counts, o.Seed, o.Workers)
+		return experiment.P2PAblation(pick(o.Platform, VRChat), o.Counts, o.Seed, o.Workers, o.Metrics)
 	}},
 	{Info{"decimate", "§6.2 ablation", "Update-rate decimation for distant avatars"}, func(o Options) Result {
-		return experiment.Decimate(pick(o.Platform, VRChat), o.Counts, o.Seed, o.Workers)
+		return experiment.Decimate(pick(o.Platform, VRChat), o.Counts, o.Seed, o.Workers, o.Metrics)
 	}},
 }
 
