@@ -1,7 +1,7 @@
 # Tier-1 gate: everything must build, vet clean, and pass the full test
 # suite with the race detector on (the parallel experiment runner makes the
 # whole suite a concurrency test).
-.PHONY: check build vet test race bench bench-save
+.PHONY: check build vet test race bench bench-hotpath bench-save
 
 check: build vet race
 
@@ -21,7 +21,15 @@ race:
 bench:
 	go test -bench=. -benchmem
 
-# Same run, archived: newline-delimited go-test JSON events, one file per
-# day, for tracking perf drift across PRs.
+# Per-packet micro-benchmarks (bench_hotpath_test.go): fabric forwarding,
+# wire serialization, metric handles, capture ingest. The allocs/op column
+# is the regression contract — see DESIGN.md "The packet hot path".
+bench-hotpath:
+	go test -run '^$$' -bench=Hotpath -benchmem .
+
+# Same runs, archived: newline-delimited go-test JSON events, one file per
+# day, for tracking perf drift across PRs. Archives the figure-level suite
+# and the hot-path suite side by side.
 bench-save:
 	go test -json -bench=. -benchmem > BENCH_$$(date +%Y%m%d).json
+	go test -json -run '^$$' -bench=Hotpath -benchmem . > BENCH_HOTPATH_$$(date +%Y%m%d).json

@@ -1,0 +1,180 @@
+// Hot-path micro-benchmarks: where the figure-level benchmarks in
+// bench_test.go measure whole experiments, these isolate the per-packet
+// machinery the fast-path work targets — fabric forwarding, wire
+// serialization, metric recording, and capture ingest. Run with -benchmem;
+// the allocs/op column is the contract (see DESIGN.md "The packet hot
+// path"). `make bench-hotpath` runs exactly this suite.
+package svrlab_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/svrlab/svrlab/internal/capture"
+	"github.com/svrlab/svrlab/internal/geo"
+	"github.com/svrlab/svrlab/internal/netsim"
+	"github.com/svrlab/svrlab/internal/obs"
+	"github.com/svrlab/svrlab/internal/packet"
+	"github.com/svrlab/svrlab/internal/simtime"
+)
+
+// benchNet builds the same 3-site line the netsim tests use: two WiFi hosts
+// at the ends, one intermediate backbone site.
+func benchNet() (*netsim.Network, *netsim.Host, *netsim.Host) {
+	s := simtime.NewScheduler()
+	n := netsim.New(s, 1)
+	east := n.AddSite("east", geo.Fairfax, packet.MustParseAddr("10.0.0.1"))
+	mid := n.AddSite("mid", geo.Minneapolis, packet.MustParseAddr("10.1.0.1"))
+	west := n.AddSite("west", geo.SanJose, packet.MustParseAddr("10.2.0.1"))
+	n.Connect(east, mid)
+	n.Connect(mid, west)
+	h1 := n.AddHost("u1", east, packet.MustParseAddr("10.0.0.2"), netsim.WiFiAccess())
+	h2 := n.AddHost("u2", west, packet.MustParseAddr("10.2.0.2"), netsim.WiFiAccess())
+	return n, h1, h2
+}
+
+func benchPacket(dst packet.Addr) *packet.Packet {
+	return &packet.Packet{
+		IP:      packet.IPv4{Protocol: packet.ProtoUDP, Dst: dst},
+		UDP:     &packet.UDP{SrcPort: 1000, DstPort: 2000},
+		Payload: []byte("avatar-update-avatar-update-avat"), // 32 B, a voice-frame-ish size
+	}
+}
+
+// BenchmarkHotpathSendDeliver measures a full Send→forward→forward→deliver
+// round trip across three sites, draining the scheduler each iteration.
+func BenchmarkHotpathSendDeliver(b *testing.B) {
+	n, h1, h2 := benchNet()
+	h2.Handler = func(p *packet.Packet) {}
+	pkt := benchPacket(h2.Addr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt.IP.TTL = netsim.DefaultTTL
+		n.Send(h1, pkt)
+		n.Sched.Run()
+	}
+}
+
+// BenchmarkHotpathSendDeliverTapped is the same round trip with a capture
+// sniffer attached at each end — the configuration every experiment runs in.
+func BenchmarkHotpathSendDeliverTapped(b *testing.B) {
+	n, h1, h2 := benchNet()
+	h2.Handler = func(p *packet.Packet) {}
+	s1, s2 := capture.Attach(h1), capture.Attach(h2)
+	pkt := benchPacket(h2.Addr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt.IP.TTL = netsim.DefaultTTL
+		n.Send(h1, pkt)
+		n.Sched.Run()
+		if len(s1.Records)+len(s2.Records) >= 4096 {
+			b.StopTimer()
+			s1.Clear()
+			s2.Clear()
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkHotpathMarshal is fresh-buffer serialization (one allocation).
+func BenchmarkHotpathMarshal(b *testing.B) {
+	p := benchPacket(packet.MustParseAddr("10.2.0.2"))
+	p.IP.TTL = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Marshal()
+	}
+}
+
+// BenchmarkHotpathMarshalTo is serialization into a warm reused buffer —
+// what the fabric's pooled forwarding state does per packet.
+func BenchmarkHotpathMarshalTo(b *testing.B) {
+	p := benchPacket(packet.MustParseAddr("10.2.0.2"))
+	p.IP.TTL = 64
+	buf := p.MarshalTo(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = p.MarshalTo(buf[:0])
+	}
+}
+
+// BenchmarkHotpathPatchTTL is the delivery-side header rewrite that
+// replaced a full re-marshal.
+func BenchmarkHotpathPatchTTL(b *testing.B) {
+	p := benchPacket(packet.MustParseAddr("10.2.0.2"))
+	p.IP.TTL = 64
+	wire := p.Marshal()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		packet.PatchTTL(wire, uint8(64-i%2)) // alternate so the patch never no-ops
+	}
+}
+
+// BenchmarkHotpathDecode parses wire bytes back into a Packet (capture's
+// lazy decode path).
+func BenchmarkHotpathDecode(b *testing.B) {
+	p := benchPacket(packet.MustParseAddr("10.2.0.2"))
+	p.IP.TTL = 64
+	wire := p.Marshal()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := packet.Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotpathObsHandle records through precomputed handles — the
+// per-packet metrics path after the conversion.
+func BenchmarkHotpathObsHandle(b *testing.B) {
+	r := obs.NewRegistry()
+	c := r.Counter("bench.counter")
+	h := r.Hist("bench.hist")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		c.Add(1200)
+		h.Observe(5 * time.Millisecond)
+	}
+}
+
+// BenchmarkHotpathObsString records through the name-keyed API — the cold
+// path handles replaced, kept for comparison.
+func BenchmarkHotpathObsString(b *testing.B) {
+	r := obs.NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Inc("bench.counter")
+		r.Add("bench.counter", 1200)
+		r.ObserveDuration("bench.hist", 5*time.Millisecond)
+	}
+}
+
+// BenchmarkHotpathCaptureIngest measures sniffer ingest of a delivered
+// packet: the tap's defensive copy plus record append.
+func BenchmarkHotpathCaptureIngest(b *testing.B) {
+	n, h1, h2 := benchNet()
+	h2.Handler = func(p *packet.Packet) {}
+	sn := capture.Attach(h2)
+	pkt := benchPacket(h2.Addr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt.IP.TTL = netsim.DefaultTTL
+		n.Send(h1, pkt)
+		n.Sched.Run()
+		if len(sn.Records) >= 4096 {
+			b.StopTimer()
+			sn.Clear()
+			b.StartTimer()
+		}
+	}
+}

@@ -17,6 +17,8 @@
 //	               any value yields bit-identical artifacts
 //	-metrics       print the lab's metrics table (drops, queueing delay,
 //	               retransmits, ...) after each artifact
+//	-cpuprofile F  write a pprof CPU profile of the run to F
+//	-memprofile F  write a pprof heap profile (after the run) to F
 package main
 
 import (
@@ -24,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -44,6 +48,8 @@ func main() {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	format := fs.String("format", "text", "output format: text or json")
 	metrics := fs.Bool("metrics", false, "print the metrics table after each artifact")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 
 	switch cmd {
 	case "list":
@@ -63,7 +69,9 @@ func main() {
 		if *metrics {
 			opts.Metrics = svrlab.NewMetricsRegistry()
 		}
+		stopProfiles := startProfiles(*cpuProfile, *memProfile)
 		res, err := svrlab.Run(id, opts)
+		stopProfiles()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -75,6 +83,7 @@ func main() {
 			os.Exit(2)
 		}
 		opts := buildOpts(*seed, *repeats, *platformName, *users, *workers)
+		stopProfiles := startProfiles(*cpuProfile, *memProfile)
 		for _, info := range svrlab.Experiments() {
 			fmt.Printf("==== %s (%s) ====\n", info.ID, info.Artifact)
 			// A fresh registry per experiment keeps the tables comparable.
@@ -83,6 +92,7 @@ func main() {
 			}
 			res, err := svrlab.Run(info.ID, opts)
 			if err != nil {
+				stopProfiles()
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -90,6 +100,7 @@ func main() {
 			emitMetrics(opts.Metrics)
 			fmt.Println()
 		}
+		stopProfiles()
 	default:
 		usage()
 		os.Exit(2)
@@ -109,6 +120,41 @@ func emit(res svrlab.Result, format string) {
 		}
 	default:
 		fmt.Print(res.Render())
+	}
+}
+
+// startProfiles begins CPU profiling (when requested) and returns a stop
+// function that finalizes the CPU profile and writes the heap profile. The
+// stop function is safe to call when neither flag was given.
+func startProfiles(cpuPath, memPath string) func() {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
 	}
 }
 
@@ -152,6 +198,6 @@ func usage() {
 
 usage:
   svrlab list
-  svrlab run <experiment-id> [-seed N] [-repeats N] [-platform P] [-users a,b,c] [-workers N] [-metrics]
+  svrlab run <experiment-id> [-seed N] [-repeats N] [-platform P] [-users a,b,c] [-workers N] [-metrics] [-cpuprofile F] [-memprofile F]
   svrlab all [flags]`)
 }

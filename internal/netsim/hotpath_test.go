@@ -1,0 +1,206 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/svrlab/svrlab/internal/geo"
+	"github.com/svrlab/svrlab/internal/packet"
+	"github.com/svrlab/svrlab/internal/simtime"
+)
+
+// TestWireFidelityAcrossFabric is the single-marshal invariant: the bytes the
+// down-tap sees must equal a full re-marshal of the hop-decremented packet
+// (the TTL/checksum patch is exact), and must equal the up-tap bytes in every
+// byte except TTL and header checksum.
+func TestWireFidelityAcrossFabric(t *testing.T) {
+	n, h1, h2, _, _ := buildTestNet(t)
+	var up, down []byte
+	h1.Tap(func(at time.Duration, dir Dir, wire []byte) {
+		if dir == DirUp {
+			up = append([]byte(nil), wire...)
+		}
+	})
+	h2.Tap(func(at time.Duration, dir Dir, wire []byte) {
+		if dir == DirDown {
+			down = append([]byte(nil), wire...)
+		}
+	})
+	var got *packet.Packet
+	h2.Handler = func(p *packet.Packet) { got = p }
+
+	n.Send(h1, udpTo(h2.Addr, []byte("fidelity-check")))
+	n.Sched.Run()
+	if up == nil || down == nil || got == nil {
+		t.Fatal("packet did not cross both taps")
+	}
+
+	// Delivery bytes must be a byte-exact re-marshal of the delivered packet.
+	if want := got.Marshal(); !bytes.Equal(down, want) {
+		t.Fatalf("down-tap bytes != re-marshal of delivered packet:\n got %x\nwant %x", down, want)
+	}
+	// And the patched header must still carry a valid checksum.
+	if _, err := packet.Decode(down); err != nil {
+		t.Fatalf("down-tap bytes undecodable: %v", err)
+	}
+	// Up vs down: identical except TTL (byte 8) and checksum (bytes 10-11).
+	if len(up) != len(down) {
+		t.Fatalf("length changed in flight: up=%d down=%d", len(up), len(down))
+	}
+	for i := range up {
+		if i == 8 || i == 10 || i == 11 {
+			continue
+		}
+		if up[i] != down[i] {
+			t.Fatalf("byte %d changed in flight: up=%#x down=%#x", i, up[i], down[i])
+		}
+	}
+	if up[8] == down[8] {
+		t.Fatal("TTL not decremented on the wire")
+	}
+}
+
+// TestUnroutableSendDoesNotConsumeIPID: a send that fails the routability
+// check must not perturb the IP ID sequence of delivered traffic.
+func TestUnroutableSendDoesNotConsumeIPID(t *testing.T) {
+	n, h1, h2, _, _ := buildTestNet(t)
+	var ids []uint16
+	h2.Handler = func(p *packet.Packet) { ids = append(ids, p.IP.ID) }
+
+	n.Send(h1, udpTo(h2.Addr, []byte("a")))
+	n.Sched.Run()
+	for i := 0; i < 3; i++ {
+		if n.Send(h1, udpTo(packet.MustParseAddr("99.9.9.9"), nil)) {
+			t.Fatal("unroutable send returned true")
+		}
+	}
+	n.Send(h1, udpTo(h2.Addr, []byte("b")))
+	n.Sched.Run()
+
+	if len(ids) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(ids))
+	}
+	if ids[1] != ids[0]+1 {
+		t.Fatalf("IP ID sequence perturbed by unroutable sends: %d -> %d", ids[0], ids[1])
+	}
+}
+
+// TestPacketOwnershipAfterSend asserts the documented ownership contract:
+// the wire bytes are serialized synchronously inside Send, so scribbling
+// over the caller's payload buffer afterwards must not change what the
+// network delivers.
+func TestPacketOwnershipAfterSend(t *testing.T) {
+	n, h1, h2, _, _ := buildTestNet(t)
+	var down []byte
+	h2.Tap(func(at time.Duration, dir Dir, wire []byte) {
+		if dir == DirDown {
+			down = append([]byte(nil), wire...)
+		}
+	})
+	h2.Handler = func(p *packet.Packet) {}
+
+	payload := []byte("owned-by-netsim")
+	want := append([]byte(nil), payload...)
+	n.Send(h1, udpTo(h2.Addr, payload))
+	for i := range payload { // caller violates the buffer after Send returns
+		payload[i] = 0xFF
+	}
+	n.Sched.Run()
+	if down == nil {
+		t.Fatal("packet not delivered")
+	}
+	gotPayload := down[len(down)-len(want):]
+	if !bytes.Equal(gotPayload, want) {
+		t.Fatalf("delivered payload reflects post-Send mutation: %q", gotPayload)
+	}
+}
+
+// TestSendDeliverAllocs pins the hot path's allocation budget: once the
+// forwarding-state, wire-buffer, and event pools are warm, a full
+// Send→forward→deliver round trip must allocate (amortized) less than one
+// object per packet.
+func TestSendDeliverAllocs(t *testing.T) {
+	n, h1, h2, _, _ := buildTestNet(t)
+	h2.Handler = func(p *packet.Packet) {}
+	pkt := udpTo(h2.Addr, []byte("alloc-budget-check"))
+	send := func() {
+		pkt.IP.TTL = DefaultTTL // reset the hop-decremented field for reuse
+		n.Send(h1, pkt)
+		n.Sched.Run()
+	}
+	for i := 0; i < 64; i++ { // warm the pools and the scheduler heap
+		send()
+	}
+	if avg := testing.AllocsPerRun(200, send); avg >= 1 {
+		t.Fatalf("Send→deliver allocates %.2f objects/op, want < 1", avg)
+	}
+}
+
+// TestManySiteRouting drives the route matrix, the heap Dijkstra, and the
+// linear path reconstruction through a 40-site line — the shape that made
+// the old front-prepend reconstruction quadratic.
+func TestManySiteRouting(t *testing.T) {
+	const k = 40
+	s := simtime.NewScheduler()
+	n := New(s, 1)
+	sites := make([]*Site, k)
+	for i := 0; i < k; i++ {
+		loc := geo.Point{Lat: 40, Lon: -120 + float64(i)}
+		sites[i] = n.AddSite("s", loc, packet.Addr(0x0a000001+uint32(i)<<8))
+		if i > 0 {
+			n.Connect(sites[i-1], sites[i])
+		}
+	}
+	a := n.AddHost("a", sites[0], packet.MustParseAddr("1.0.0.1"), WiFiAccess())
+	b := n.AddHost("b", sites[k-1], packet.MustParseAddr("1.0.0.2"), WiFiAccess())
+
+	routers := n.PathRouters(a, b.Addr)
+	if len(routers) != k {
+		t.Fatalf("path length = %d, want %d", len(routers), k)
+	}
+	for i, r := range routers {
+		if want := sites[i].Router; r != want {
+			t.Fatalf("hop %d = %v, want %v (path must run the line in order)", i, r, want)
+		}
+	}
+
+	var got *packet.Packet
+	b.Handler = func(p *packet.Packet) { got = p }
+	n.Send(a, udpTo(b.Addr, []byte("long-haul")))
+	s.Run()
+	if got == nil {
+		t.Fatal("packet not delivered across 40 sites")
+	}
+	if got.IP.TTL != DefaultTTL-k {
+		t.Fatalf("TTL = %d, want %d (one decrement per site)", got.IP.TTL, DefaultTTL-k)
+	}
+
+	// Topology edits must invalidate the matrix: a direct shortcut between
+	// the ends collapses the path to two sites.
+	n.Connect(sites[0], sites[k-1])
+	if routers := n.PathRouters(a, b.Addr); len(routers) != 2 {
+		t.Fatalf("after shortcut, path length = %d, want 2", len(routers))
+	}
+}
+
+// TestAnycastCacheInvalidation: resolutions are memoized, and AddAnycast
+// must invalidate them so a closer instance added later wins.
+func TestAnycastCacheInvalidation(t *testing.T) {
+	n, h1, _, east, west := buildTestNet(t)
+	svc := packet.MustParseAddr("200.0.0.1")
+	far := n.AddHost("far", west, packet.MustParseAddr("10.2.0.9"), DatacenterAccess())
+	n.AddAnycast(svc, far)
+	if got, ok := n.ResolveAnycast(svc, h1.Site); !ok || got != far {
+		t.Fatalf("resolve = %v,%v want far instance", got, ok)
+	}
+	// Resolve again (cache hit), then add a nearer instance.
+	if got, _ := n.ResolveAnycast(svc, h1.Site); got != far {
+		t.Fatal("cached resolution changed spontaneously")
+	}
+	near := n.AddHost("near", east, packet.MustParseAddr("10.0.0.9"), DatacenterAccess())
+	n.AddAnycast(svc, near)
+	if got, ok := n.ResolveAnycast(svc, h1.Site); !ok || got != near {
+		t.Fatalf("resolve after AddAnycast = %v,%v want near instance", got, ok)
+	}
+}

@@ -9,6 +9,14 @@
 // propagation delay plus bounded FIFO queueing with tail drop. That is the
 // minimum mechanism that still produces real queueing delay, real loss under
 // overload, and realistic traceroute/ping behaviour.
+//
+// The per-packet path is engineered to be (near-)zero-allocation: a packet
+// is marshaled exactly once at Send, the wire buffer rides a pooled
+// forwarding-state struct through every hop (scheduled via the scheduler's
+// pooled fire-and-forget events), delivery patches the hop-decremented TTL
+// into the existing buffer with an incremental checksum update
+// (packet.PatchTTL), and all fabric metrics go through precomputed obs
+// handles. See DESIGN.md "The packet hot path".
 package netsim
 
 import (
@@ -45,7 +53,8 @@ func (d Dir) String() string {
 }
 
 // TapFunc observes wire bytes crossing a host's access point. The bytes are
-// valid only for the duration of the call.
+// valid only for the duration of the call: the fabric reuses wire buffers
+// across packets, so taps that keep bytes must copy them (as capture does).
 type TapFunc func(at time.Duration, dir Dir, wire []byte)
 
 // Netem is a tc-netem-equivalent impairment applied to one direction of a
@@ -119,6 +128,9 @@ type Site struct {
 
 	index     int
 	neighbors map[*Site]*Link
+	// nbOrder lists neighbors in Connect order, giving route computation a
+	// deterministic iteration order (map iteration is randomized).
+	nbOrder []*Site
 }
 
 // Host is an endpoint attached to a site through up/down access links.
@@ -155,6 +167,12 @@ func (h *Host) runTaps(at time.Duration, dir Dir, wire []byte) {
 	}
 }
 
+// anycastKey caches anycast resolution per (service address, sender site).
+type anycastKey struct {
+	addr packet.Addr
+	site int
+}
+
 // Network is the simulated fabric.
 type Network struct {
 	Sched    *simtime.Scheduler
@@ -168,10 +186,31 @@ type Network struct {
 	hosts   map[packet.Addr]*Host
 	anycast map[packet.Addr][]*Host
 
-	// routeCache[srcSiteIndex][dstSiteIndex] is the site path, inclusive.
-	routeCache map[int]map[int][]*Site
+	// routes is the site-indexed route matrix: routes[src][dst] is the site
+	// path, inclusive, or nil if dst is unreachable. A nil routes[src] row
+	// means the row has not been computed yet; one Dijkstra run fills the
+	// whole row. A nil routes means the matrix is invalid (topology edit).
+	routes [][][]*Site
+	// anycastCache memoizes ResolveAnycast per (addr, sender site); it is
+	// invalidated together with the route matrix. A nil value records a
+	// known-unresolvable pair.
+	anycastCache map[anycastKey]*Host
+
+	// fwdFree pools forwarding states (and their wire buffers) so the
+	// per-packet path allocates nothing once warm.
+	fwdFree []*fwdState
 
 	ipid uint16
+
+	// Precomputed metric handles for the per-packet/per-hop path.
+	cSent, cDelivered, cUnroutable          obs.Counter
+	cDropAccessUp, cDropAccessDown          obs.Counter
+	cDropBackbone                           obs.Counter
+	cNetemLossUp, cNetemLossDown            obs.Counter
+	cNetemQueueUp, cNetemQueueDown          obs.Counter
+	hQdAccessUp, hQdAccessDown, hQdBackbone obs.Hist
+	cICMPTimeExceeded, cICMPDestUnreach     obs.Counter
+	cICMPOther                              obs.Counter
 }
 
 // New creates an empty network bound to a scheduler and seeded RNG, with a
@@ -187,14 +226,40 @@ func NewObserved(s *simtime.Scheduler, seed int64, m *obs.Registry) *Network {
 	if m == nil {
 		m = obs.NewRegistry()
 	}
-	return &Network{
-		Sched:      s,
-		Rng:        rand.New(rand.NewSource(seed)),
-		Registry:   geo.NewRegistry(),
-		Metrics:    m,
-		hosts:      make(map[packet.Addr]*Host),
-		anycast:    make(map[packet.Addr][]*Host),
-		routeCache: make(map[int]map[int][]*Site),
+	n := &Network{
+		Sched:        s,
+		Rng:          rand.New(rand.NewSource(seed)),
+		Registry:     geo.NewRegistry(),
+		Metrics:      m,
+		hosts:        make(map[packet.Addr]*Host),
+		anycast:      make(map[packet.Addr][]*Host),
+		anycastCache: make(map[anycastKey]*Host),
+	}
+	n.cSent = m.Counter("netsim.packets.sent")
+	n.cDelivered = m.Counter("netsim.packets.delivered")
+	n.cUnroutable = m.Counter("netsim.packets.unroutable")
+	n.cDropAccessUp = m.Counter("netsim.drop.link.access_up")
+	n.cDropAccessDown = m.Counter("netsim.drop.link.access_down")
+	n.cDropBackbone = m.Counter("netsim.drop.link.backbone")
+	n.cNetemLossUp = m.Counter("netsim.drop.netem.loss.up")
+	n.cNetemLossDown = m.Counter("netsim.drop.netem.loss.down")
+	n.cNetemQueueUp = m.Counter("netsim.drop.netem.queue.up")
+	n.cNetemQueueDown = m.Counter("netsim.drop.netem.queue.down")
+	n.hQdAccessUp = m.Hist("netsim.qdelay.access_up")
+	n.hQdAccessDown = m.Hist("netsim.qdelay.access_down")
+	n.hQdBackbone = m.Hist("netsim.qdelay.backbone")
+	n.cICMPTimeExceeded = m.Counter("netsim.icmp.time_exceeded")
+	n.cICMPDestUnreach = m.Counter("netsim.icmp.dest_unreach")
+	n.cICMPOther = m.Counter("netsim.icmp.other")
+	return n
+}
+
+// invalidateRoutes drops the route matrix and the anycast cache after a
+// topology edit.
+func (n *Network) invalidateRoutes() {
+	n.routes = nil
+	if len(n.anycastCache) > 0 {
+		n.anycastCache = make(map[anycastKey]*Host)
 	}
 }
 
@@ -202,7 +267,7 @@ func NewObserved(s *simtime.Scheduler, seed int64, m *obs.Registry) *Network {
 func (n *Network) AddSite(name string, loc geo.Point, router packet.Addr) *Site {
 	s := &Site{Name: name, Loc: loc, Router: router, index: len(n.sites), neighbors: make(map[*Site]*Link)}
 	n.sites = append(n.sites, s)
-	n.routeCache = make(map[int]map[int][]*Site) // invalidate
+	n.invalidateRoutes()
 	return s
 }
 
@@ -214,9 +279,13 @@ func (n *Network) Connect(a, b *Site) {
 	mk := func() *Link {
 		return &Link{BandwidthBps: 10e9, PropDelay: d, Jitter: 50 * time.Microsecond, MaxQueue: 500 * time.Millisecond}
 	}
+	if _, dup := a.neighbors[b]; !dup {
+		a.nbOrder = append(a.nbOrder, b)
+		b.nbOrder = append(b.nbOrder, a)
+	}
 	a.neighbors[b] = mk()
 	b.neighbors[a] = mk()
-	n.routeCache = make(map[int]map[int][]*Site)
+	n.invalidateRoutes()
 }
 
 // AccessProfile describes a host's last-mile connection.
@@ -266,19 +335,72 @@ func (n *Network) AddAnycast(addr packet.Addr, instances ...*Host) {
 		panic("netsim: anycast group needs at least one instance")
 	}
 	n.anycast[addr] = append(n.anycast[addr], instances...)
+	if len(n.anycastCache) > 0 {
+		n.anycastCache = make(map[anycastKey]*Host)
+	}
 }
 
 // IsAnycast reports whether addr is an anycast service address.
 func (n *Network) IsAnycast(addr packet.Addr) bool { return len(n.anycast[addr]) > 0 }
 
-// sitePath returns the minimum-delay site sequence from a to b (inclusive).
-func (n *Network) sitePath(a, b *Site) []*Site {
-	if m, ok := n.routeCache[a.index]; ok {
-		if p, ok := m[b.index]; ok {
-			return p
-		}
+// pqItem is one binary-heap entry of the Dijkstra priority queue.
+type pqItem struct {
+	d   time.Duration
+	idx int
+}
+
+// pqLess orders by distance, then site index: the index tie-break reproduces
+// the old linear min-scan (which picked the lowest-index site among equals),
+// keeping route choice deterministic.
+func pqLess(a, b pqItem) bool {
+	if a.d != b.d {
+		return a.d < b.d
 	}
-	// Dijkstra over the site graph.
+	return a.idx < b.idx
+}
+
+func pqPush(pq []pqItem, it pqItem) []pqItem {
+	pq = append(pq, it)
+	i := len(pq) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !pqLess(pq[i], pq[parent]) {
+			break
+		}
+		pq[i], pq[parent] = pq[parent], pq[i]
+		i = parent
+	}
+	return pq
+}
+
+func pqPop(pq []pqItem) (pqItem, []pqItem) {
+	top := pq[0]
+	last := len(pq) - 1
+	pq[0] = pq[last]
+	pq = pq[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(pq) && pqLess(pq[l], pq[small]) {
+			small = l
+		}
+		if r < len(pq) && pqLess(pq[r], pq[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		pq[i], pq[small] = pq[small], pq[i]
+		i = small
+	}
+	return top, pq
+}
+
+// computeRoutes runs one heap-based Dijkstra from a and materializes the
+// minimum-delay site path to every reachable site (linear-time backwards
+// fill; the old per-destination front-prepend reconstruction was O(n²)).
+func (n *Network) computeRoutes(a *Site) [][]*Site {
 	const inf = time.Duration(1<<62 - 1)
 	dist := make([]time.Duration, len(n.sites))
 	prev := make([]*Site, len(n.sites))
@@ -287,45 +409,67 @@ func (n *Network) sitePath(a, b *Site) []*Site {
 		dist[i] = inf
 	}
 	dist[a.index] = 0
-	for {
-		best := -1
-		for i, s := range n.sites {
-			_ = s
-			if !done[i] && dist[i] < inf && (best < 0 || dist[i] < dist[best]) {
-				best = i
-			}
+	pq := make([]pqItem, 0, len(n.sites))
+	pq = pqPush(pq, pqItem{0, a.index})
+	for len(pq) > 0 {
+		var it pqItem
+		it, pq = pqPop(pq)
+		if done[it.idx] || it.d > dist[it.idx] {
+			continue // stale lazy-deletion entry
 		}
-		if best < 0 {
-			break
-		}
-		done[best] = true
-		cur := n.sites[best]
-		for nb, l := range cur.neighbors {
-			alt := dist[best] + l.PropDelay + perHopCost
+		done[it.idx] = true
+		cur := n.sites[it.idx]
+		for _, nb := range cur.nbOrder {
+			l := cur.neighbors[nb]
+			alt := it.d + l.PropDelay + perHopCost
 			if alt < dist[nb.index] {
 				dist[nb.index] = alt
 				prev[nb.index] = cur
+				pq = pqPush(pq, pqItem{alt, nb.index})
 			}
 		}
 	}
-	if dist[b.index] == inf {
-		return nil
-	}
-	var path []*Site
-	for s := b; s != nil; s = prev[s.index] {
-		path = append([]*Site{s}, path...)
-		if s == a {
-			break
+	row := make([][]*Site, len(n.sites))
+	for bi := range n.sites {
+		if dist[bi] == inf {
+			continue
+		}
+		depth := 0
+		for s := n.sites[bi]; s != nil; s = prev[s.index] {
+			depth++
+			if s == a {
+				break
+			}
+		}
+		path := make([]*Site, depth)
+		i := depth - 1
+		for s := n.sites[bi]; s != nil; s = prev[s.index] {
+			path[i] = s
+			i--
+			if s == a {
+				break
+			}
+		}
+		if path[0] == a {
+			row[bi] = path
 		}
 	}
-	if len(path) == 0 || path[0] != a {
-		return nil
+	return row
+}
+
+// sitePath returns the minimum-delay site sequence from a to b (inclusive),
+// or nil if unreachable. Rows of the route matrix are computed lazily, one
+// Dijkstra per source site, and invalidated on topology edits.
+func (n *Network) sitePath(a, b *Site) []*Site {
+	if n.routes == nil {
+		n.routes = make([][][]*Site, len(n.sites))
 	}
-	if _, ok := n.routeCache[a.index]; !ok {
-		n.routeCache[a.index] = make(map[int][]*Site)
+	row := n.routes[a.index]
+	if row == nil {
+		row = n.computeRoutes(a)
+		n.routes[a.index] = row
 	}
-	n.routeCache[a.index][b.index] = path
-	return path
+	return row[b.index]
 }
 
 // pathDelay sums the propagation+hop costs along a site path.
@@ -338,10 +482,16 @@ func (n *Network) pathDelay(path []*Site) time.Duration {
 }
 
 // ResolveAnycast picks the instance a sender at the given site would reach.
+// Resolutions are memoized per (addr, site) with the same invalidation as
+// the route matrix, so steady-state anycast sends skip the path comparison.
 func (n *Network) ResolveAnycast(addr packet.Addr, from *Site) (*Host, bool) {
 	insts := n.anycast[addr]
 	if len(insts) == 0 {
 		return nil, false
+	}
+	key := anycastKey{addr: addr, site: from.index}
+	if h, hit := n.anycastCache[key]; hit {
+		return h, h != nil
 	}
 	var best *Host
 	bestD := time.Duration(1<<62 - 1)
@@ -354,13 +504,63 @@ func (n *Network) ResolveAnycast(addr packet.Addr, from *Site) (*Host, bool) {
 			bestD, best = d, h
 		}
 	}
+	n.anycastCache[key] = best
 	return best, best != nil
+}
+
+// fwdState carries one in-flight packet across its hops: the decoded packet,
+// the single wire serialization, and the route. Its step methods are bound
+// to func values once at construction, so scheduling the next hop costs no
+// closure allocation, and released states (wire buffer included) are pooled
+// on the owning Network.
+type fwdState struct {
+	n        *Network
+	pkt      *packet.Packet
+	src, dst *Host
+	path     []*Site
+	hop      int
+	size     int
+	wire     []byte
+
+	emitFn    func()
+	forwardFn func()
+	deliverFn func()
+}
+
+func (n *Network) acquireFwd() *fwdState {
+	if k := len(n.fwdFree); k > 0 {
+		fs := n.fwdFree[k-1]
+		n.fwdFree[k-1] = nil
+		n.fwdFree = n.fwdFree[:k-1]
+		return fs
+	}
+	fs := &fwdState{n: n}
+	fs.emitFn = fs.emit
+	fs.forwardFn = fs.forward
+	fs.deliverFn = fs.deliver
+	return fs
+}
+
+// releaseFwd returns a terminal (delivered or dropped) state to the pool.
+// The wire buffer is kept for reuse by the next packet; taps only see it
+// during their call, per the TapFunc contract.
+func (n *Network) releaseFwd(fs *fwdState) {
+	fs.pkt, fs.src, fs.dst, fs.path = nil, nil, nil, nil
+	fs.hop, fs.size = 0, 0
+	n.fwdFree = append(n.fwdFree, fs)
 }
 
 // Send transmits pkt from host h. The IP source defaults to h's address
 // when unset; services answering on an anycast address set it explicitly.
 // TTL defaults to DefaultTTL when zero. Returns false if the destination is
 // unroutable (the packet is silently dropped, as the real Internet would).
+//
+// Ownership: the fabric owns pkt from the moment Send returns true. It is
+// marshaled to wire bytes exactly once, synchronously, inside Send — so the
+// payload may alias a buffer the caller appends to afterwards — but the
+// Packet struct itself (notably IP.TTL, mutated per hop, and IP.ID) must not
+// be reused for another Send while in flight, and callers must not mutate
+// the payload bytes in place. See TestPacketOwnershipAfterSend.
 //
 // The capture tap sits after the uplink netem impairment — the paper's
 // vantage point (tc-netem and Wireshark on the same AP, with capture seeing
@@ -372,62 +572,59 @@ func (n *Network) Send(h *Host, pkt *packet.Packet) bool {
 	if pkt.IP.TTL == 0 {
 		pkt.IP.TTL = DefaultTTL
 	}
-	n.ipid++
-	pkt.IP.ID = n.ipid
 
 	dst, ok := n.hosts[pkt.IP.Dst]
 	if !ok {
 		if dst, ok = n.ResolveAnycast(pkt.IP.Dst, h.Site); !ok {
-			n.Metrics.Inc("netsim.packets.unroutable")
+			n.cUnroutable.Inc()
 			return false
 		}
 	}
 	path := n.sitePath(h.Site, dst.Site)
 	if path == nil {
-		n.Metrics.Inc("netsim.packets.unroutable")
+		n.cUnroutable.Inc()
 		return false
 	}
 
-	wire := pkt.Marshal()
-	size := len(wire)
+	// Consume an IP ID only for routable packets: unroutable sends must not
+	// perturb the ID sequence of delivered traffic.
+	n.ipid++
+	pkt.IP.ID = n.ipid
+
+	fs := n.acquireFwd()
+	fs.pkt, fs.src, fs.dst, fs.path = pkt, h, dst, path
+	fs.wire = pkt.MarshalTo(fs.wire[:0])
+	fs.size = len(fs.wire)
+
 	now := n.Sched.Now()
 	h.SentPackets++
-	h.SentBytes += size
-	n.Metrics.Inc("netsim.packets.sent")
+	h.SentBytes += fs.size
+	n.cSent.Inc()
 
 	// Uplink netem first (loss, shaping, delay)...
 	depart := now
 	if h.UpNetem.matches(pkt) {
-		d, drop := n.applyNetem(h.UpNetem, depart, size, "up")
+		d, drop := n.applyNetem(h.UpNetem, depart, fs.size, n.cNetemLossUp, n.cNetemQueueUp)
 		if drop {
+			n.releaseFwd(fs)
 			return true // consumed (dropped) — still "sent"
 		}
 		depart = d
 	}
 	// ...then tap and access link at departure time.
-	emit := func() {
-		h.runTaps(n.Sched.Now(), DirUp, wire)
-		arrive, qd, drop := h.Up.transmit(n.Sched.Now(), size, n.Rng)
-		if drop {
-			n.Metrics.Inc("netsim.drop.link.access_up")
-			return
-		}
-		n.Metrics.ObserveDuration("netsim.qdelay.access_up", qd)
-		n.Sched.At(arrive, func() { n.forward(pkt, h, dst, path, 0, size) })
-	}
 	if depart <= now {
-		emit()
+		fs.emit()
 	} else {
-		n.Sched.At(depart, emit)
+		n.Sched.Post(depart, fs.emitFn)
 	}
 	return true
 }
 
 // applyNetem applies loss, rate limiting and delay; returns new departure
-// time or drop. dir ("up"/"down") labels the drop-cause counters.
-func (n *Network) applyNetem(ne *Netem, now time.Duration, size int, dir string) (time.Duration, bool) {
+// time or drop. lossDrop/queueDrop are the direction's drop-cause counters.
+func (n *Network) applyNetem(ne *Netem, now time.Duration, size int, lossDrop, queueDrop obs.Counter) (time.Duration, bool) {
 	if ne.Loss > 0 && n.Rng.Float64() < ne.Loss {
-		n.Metrics.Inc("netsim.drop.netem.loss." + dir)
+		lossDrop.Inc()
 		return 0, true
 	}
 	depart := now
@@ -439,7 +636,7 @@ func (n *Network) applyNetem(ne *Netem, now time.Duration, size int, dir string)
 		// Bounded shaping queue: beyond 250 ms of backlog the shaper tail-drops,
 		// as tbf/netem with a finite limit would.
 		if start-now > 250*time.Millisecond {
-			n.Metrics.Inc("netsim.drop.netem.queue." + dir)
+			queueDrop.Inc()
 			return 0, true
 		}
 		tx := time.Duration(float64(size*8) / ne.RateBps * float64(time.Second))
@@ -449,52 +646,83 @@ func (n *Network) applyNetem(ne *Netem, now time.Duration, size int, dir string)
 	return depart + ne.Delay, false
 }
 
-// forward walks pkt through the site path. hopIdx is the index of the site
-// whose router is now handling the packet.
-func (n *Network) forward(pkt *packet.Packet, src, dst *Host, path []*Site, hopIdx, size int) {
-	site := path[hopIdx]
+// emit runs the uplink tap and access-link transmission at departure time.
+func (fs *fwdState) emit() {
+	n := fs.n
+	h := fs.src
+	h.runTaps(n.Sched.Now(), DirUp, fs.wire)
+	arrive, qd, drop := h.Up.transmit(n.Sched.Now(), fs.size, n.Rng)
+	if drop {
+		n.cDropAccessUp.Inc()
+		n.releaseFwd(fs)
+		return
+	}
+	n.hQdAccessUp.Observe(qd)
+	n.Sched.Post(arrive, fs.forwardFn)
+}
+
+// forward walks the packet through the site at fs.hop: router TTL handling,
+// then either the next backbone link or the destination access link.
+func (fs *fwdState) forward() {
+	n := fs.n
+	site := fs.path[fs.hop]
+	pkt := fs.pkt
 	// Router TTL handling.
 	if pkt.IP.TTL <= 1 {
-		n.sendICMPError(site.Router, src, pkt, packet.ICMPTimeExceeded, 0)
+		n.sendICMPError(site.Router, fs.src, pkt, packet.ICMPTimeExceeded, 0)
+		n.releaseFwd(fs)
 		return
 	}
 	pkt.IP.TTL--
 
-	if hopIdx == len(path)-1 {
+	if fs.hop == len(fs.path)-1 {
 		// Final site: cross the destination access link.
 		depart := n.Sched.Now() + perHopCost
-		arrive, qd, drop := dst.Down.transmit(depart, size, n.Rng)
+		arrive, qd, drop := fs.dst.Down.transmit(depart, fs.size, n.Rng)
 		if drop {
-			n.Metrics.Inc("netsim.drop.link.access_down")
+			n.cDropAccessDown.Inc()
+			n.releaseFwd(fs)
 			return
 		}
-		n.Metrics.ObserveDuration("netsim.qdelay.access_down", qd)
-		if dst.DownNetem.matches(pkt) {
-			d, dropped := n.applyNetem(dst.DownNetem, arrive, size, "down")
+		n.hQdAccessDown.Observe(qd)
+		if fs.dst.DownNetem.matches(pkt) {
+			d, dropped := n.applyNetem(fs.dst.DownNetem, arrive, fs.size, n.cNetemLossDown, n.cNetemQueueDown)
 			if dropped {
+				n.releaseFwd(fs)
 				return
 			}
 			arrive = d
 		}
-		n.Sched.At(arrive, func() { n.deliver(dst, pkt) })
+		n.Sched.Post(arrive, fs.deliverFn)
 		return
 	}
-	next := path[hopIdx+1]
+	next := fs.path[fs.hop+1]
 	l := site.neighbors[next]
-	arrive, qd, drop := l.transmit(n.Sched.Now()+perHopCost, size, n.Rng)
+	arrive, qd, drop := l.transmit(n.Sched.Now()+perHopCost, fs.size, n.Rng)
 	if drop {
-		n.Metrics.Inc("netsim.drop.link.backbone")
+		n.cDropBackbone.Inc()
+		n.releaseFwd(fs)
 		return
 	}
-	n.Metrics.ObserveDuration("netsim.qdelay.backbone", qd)
-	n.Sched.At(arrive, func() { n.forward(pkt, src, dst, path, hopIdx+1, size) })
+	n.hQdBackbone.Observe(qd)
+	fs.hop++
+	n.Sched.Post(arrive, fs.forwardFn)
 }
 
-func (n *Network) deliver(dst *Host, pkt *packet.Packet) {
-	wire := pkt.Marshal()
+// deliver hands the packet to the destination. Instead of re-marshaling, the
+// hop-decremented TTL is patched into the wire buffer serialized at Send,
+// with an RFC 1624 incremental checksum update — the down-tap sees bytes
+// identical to a full re-marshal (asserted by TestWireFidelityAcrossFabric).
+func (fs *fwdState) deliver() {
+	packet.PatchTTL(fs.wire, fs.pkt.IP.TTL)
+	fs.n.deliverWire(fs.dst, fs.pkt, fs.wire)
+	fs.n.releaseFwd(fs)
+}
+
+func (n *Network) deliverWire(dst *Host, pkt *packet.Packet, wire []byte) {
 	dst.RecvPackets++
 	dst.RecvBytes += len(wire)
-	n.Metrics.Inc("netsim.packets.delivered")
+	n.cDelivered.Inc()
 	dst.runTaps(n.Sched.Now(), DirDown, wire)
 	if dst.Handler != nil {
 		dst.Handler(pkt)
@@ -532,7 +760,8 @@ func (n *Network) sendICMPError(from packet.Addr, to *Host, orig *packet.Packet,
 		}
 	}
 	back += to.Down.PropDelay
-	n.Sched.After(back, func() { n.deliver(to, reply) })
+	wire := reply.Marshal()
+	n.Sched.PostAfter(back, func() { n.deliverWire(to, reply, wire) })
 }
 
 // SendICMPFromHost lets a host's stack emit ICMP errors (e.g. port
@@ -561,11 +790,11 @@ func (n *Network) SendICMPFromHost(h *Host, orig *packet.Packet, icmpType, code 
 func (n *Network) countICMP(icmpType uint8) {
 	switch icmpType {
 	case packet.ICMPTimeExceeded:
-		n.Metrics.Inc("netsim.icmp.time_exceeded")
+		n.cICMPTimeExceeded.Inc()
 	case packet.ICMPDestUnreach:
-		n.Metrics.Inc("netsim.icmp.dest_unreach")
+		n.cICMPDestUnreach.Inc()
 	default:
-		n.Metrics.Inc("netsim.icmp.other")
+		n.cICMPOther.Inc()
 	}
 }
 

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHandleStringEquivalence: handle ops and string ops land in the same
+// slot, so converting a call site to a handle never changes a snapshot.
+func TestHandleStringEquivalence(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mixed.counter")
+	c.Inc()
+	r.Inc("mixed.counter")
+	c.Add(3)
+	r.Add("mixed.counter", 5)
+
+	h := r.Hist("mixed.hist")
+	h.Observe(3 * time.Millisecond)
+	r.ObserveDuration("mixed.hist", 90*time.Millisecond)
+
+	g := r.MaxGauge("mixed.max")
+	g.Set(2)
+	r.SetMax("mixed.max", 7)
+	g.Set(4) // must not lower
+
+	s := r.Snapshot()
+	if got := s.Counter("mixed.counter"); got != 10 {
+		t.Fatalf("counter = %d, want 10", got)
+	}
+	he, ok := s.Get("mixed.hist")
+	if !ok || he.Count != 2 || he.SumMicro != 93_000 {
+		t.Fatalf("hist = %+v", he)
+	}
+	ge, ok := s.Get("mixed.max")
+	if !ok || ge.Gauge != 7 {
+		t.Fatalf("max = %+v", ge)
+	}
+}
+
+// TestNilRegistryHandles: handles minted from a nil registry (metrics
+// disabled) are inert but safe, so hot paths never branch on enablement.
+func TestNilRegistryHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(9)
+	r.Hist("h").Observe(time.Second)
+	r.MaxGauge("g").Set(1)
+	var zeroC Counter
+	zeroC.Inc() // zero-value handles must also be safe
+	var zeroH Hist
+	zeroH.Observe(time.Second)
+	var zeroG MaxGauge
+	zeroG.Set(1)
+	if n := len(r.Snapshot().Entries); n != 0 {
+		t.Fatalf("nil registry snapshot has %d entries", n)
+	}
+}
+
+// TestResolvedButUnsetGaugeAbsent: merely minting a MaxGauge handle (as
+// stacks do at construction) must not create a snapshot entry; gauges appear
+// only once something is recorded, matching the old string-API behaviour.
+func TestResolvedButUnsetGaugeAbsent(t *testing.T) {
+	r := NewRegistry()
+	g := r.MaxGauge("never.set")
+	if _, ok := r.Snapshot().Get("never.set"); ok {
+		t.Fatal("unset gauge leaked into snapshot")
+	}
+	g.Set(3)
+	e, ok := r.Snapshot().Get("never.set")
+	if !ok || e.Gauge != 3 {
+		t.Fatalf("gauge after first Set = %+v, %v", e, ok)
+	}
+}
+
+// TestHandleOpsAllocFree pins the whole point of handles: recording through
+// one is allocation-free (the string path allocates on map lookups under
+// lock contention and name interning).
+func TestHandleOpsAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot.counter")
+	h := r.Hist("hot.hist")
+	g := r.MaxGauge("hot.max")
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		h.Observe(5 * time.Millisecond)
+		g.Set(1)
+	}); avg != 0 {
+		t.Fatalf("handle ops allocate %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestHandleConcurrentCommute: the shared-registry determinism contract must
+// survive the handle conversion — atomic handle ops from many goroutines
+// yield an exact final snapshot.
+func TestHandleConcurrentCommute(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	c := r.Counter("shared.counter")
+	g := r.MaxGauge("shared.max")
+	h := r.Hist("shared.hist")
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Set(float64(w*per + i))
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	s := r.Snapshot()
+	if got := s.Counter("shared.counter"); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	ge, _ := s.Get("shared.max")
+	if ge.Gauge != float64(workers*per-1) {
+		t.Fatalf("max = %v", ge.Gauge)
+	}
+	he, _ := s.Get("shared.hist")
+	if he.Count != workers*per {
+		t.Fatalf("hist count = %d", he.Count)
+	}
+}

@@ -13,13 +13,24 @@
 //
 // All methods are nil-safe: a nil *Registry discards every operation, so
 // instrumented packages never need to guard call sites.
+//
+// Two call styles coexist. The string-keyed methods (Inc, Add, SetMax,
+// ObserveDuration) take the registry mutex and a map lookup per call and are
+// meant for cold paths. Hot paths — anything executed per packet or per hop —
+// resolve a handle once (Registry.Counter, Registry.Hist, Registry.MaxGauge)
+// and thereafter mutate through a precomputed pointer with a single atomic
+// operation: no lock, no map lookup, no key concatenation, no allocation.
+// Atomic adds and atomic max commute exactly like their locked counterparts,
+// so handles preserve the shared-registry byte-identity contract.
 package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -35,27 +46,152 @@ var durBounds = []int64{
 
 type histogram struct {
 	volatile bool
-	count    int64
-	sum      int64 // microseconds
-	buckets  []int64
+	count    atomic.Int64
+	sum      atomic.Int64 // microseconds
+	buckets  []atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	i := sort.Search(len(durBounds), func(i int) bool { return us <= durBounds[i] })
+	h.count.Add(1)
+	h.sum.Add(us)
+	h.buckets[i].Add(1)
 }
 
 // Registry holds one lab's metrics. The zero value is not usable; create
 // with NewRegistry. A nil Registry is valid and ignores all writes.
+//
+// The mutex guards only the name→slot maps; the slots themselves are
+// mutated with atomic operations so handle writers never contend on it.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]int64
-	gauges   map[string]float64
+	counters map[string]*atomic.Int64
+	gauges   map[string]*atomic.Uint64 // math.Float64bits encoding
 	hists    map[string]*histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]int64),
-		gauges:   make(map[string]float64),
+		counters: make(map[string]*atomic.Int64),
+		gauges:   make(map[string]*atomic.Uint64),
 		hists:    make(map[string]*histogram),
 	}
+}
+
+// counterSlot returns the slot for name, creating it at zero if absent.
+func (r *Registry) counterSlot(name string) *atomic.Int64 {
+	r.mu.Lock()
+	c := r.counters[name]
+	if c == nil {
+		c = new(atomic.Int64)
+		r.counters[name] = c
+	}
+	r.mu.Unlock()
+	return c
+}
+
+func (r *Registry) gaugeSlot(name string) *atomic.Uint64 {
+	r.mu.Lock()
+	g := r.gauges[name]
+	if g == nil {
+		g = new(atomic.Uint64)
+		g.Store(math.Float64bits(math.Inf(-1))) // "unset": any real value beats it
+		r.gauges[name] = g
+	}
+	r.mu.Unlock()
+	return g
+}
+
+func (r *Registry) histSlot(name string, volatile bool) *histogram {
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &histogram{volatile: volatile, buckets: make([]atomic.Int64, len(durBounds)+1)}
+		r.hists[name] = h
+	}
+	r.mu.Unlock()
+	return h
+}
+
+// Counter is a nil-safe handle to one named counter. The zero value (and any
+// handle obtained from a nil registry) discards writes, so call sites need no
+// guards. Increments are single atomic adds: no lock, no map lookup.
+type Counter struct{ v *atomic.Int64 }
+
+// Inc adds 1.
+func (c Counter) Inc() {
+	if c.v != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds delta.
+func (c Counter) Add(delta int64) {
+	if c.v != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Counter resolves a handle to the named counter, creating it at zero. A nil
+// registry yields a discarding handle.
+func (r *Registry) Counter(name string) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	return Counter{v: r.counterSlot(name)}
+}
+
+// Hist is a nil-safe handle to one named duration histogram.
+type Hist struct{ h *histogram }
+
+// Observe records a simulated-time duration.
+func (h Hist) Observe(d time.Duration) {
+	if h.h != nil {
+		h.h.observe(d)
+	}
+}
+
+// Hist resolves a handle to the named (non-volatile) duration histogram. A
+// nil registry yields a discarding handle.
+func (r *Registry) Hist(name string) Hist {
+	if r == nil {
+		return Hist{}
+	}
+	return Hist{h: r.histSlot(name, false)}
+}
+
+// MaxGauge is a nil-safe handle to one named max-gauge.
+type MaxGauge struct{ g *atomic.Uint64 }
+
+// Set raises the gauge to v if v exceeds its current value (CAS loop; max
+// commutes, so shared registries stay deterministic).
+func (m MaxGauge) Set(v float64) {
+	if m.g == nil {
+		return
+	}
+	for {
+		cur := m.g.Load()
+		if v <= math.Float64frombits(cur) {
+			return
+		}
+		if m.g.CompareAndSwap(cur, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// MaxGauge resolves a handle to the named max-gauge. A nil registry yields a
+// discarding handle.
+func (r *Registry) MaxGauge(name string) MaxGauge {
+	if r == nil {
+		return MaxGauge{}
+	}
+	return MaxGauge{g: r.gaugeSlot(name)}
 }
 
 // Inc adds 1 to the named counter.
@@ -66,9 +202,7 @@ func (r *Registry) Add(name string, delta int64) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.counters[name] += delta
-	r.mu.Unlock()
+	r.counterSlot(name).Add(delta)
 }
 
 // SetMax raises the named gauge to v if v exceeds its current value.
@@ -78,44 +212,25 @@ func (r *Registry) SetMax(name string, v float64) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	if cur, ok := r.gauges[name]; !ok || v > cur {
-		r.gauges[name] = v
-	}
-	r.mu.Unlock()
+	MaxGauge{g: r.gaugeSlot(name)}.Set(v)
 }
 
 // ObserveDuration records d into the named histogram. Use only for
 // simulated-time durations; wall-clock time goes through ObserveWall.
 func (r *Registry) ObserveDuration(name string, d time.Duration) {
-	r.observe(name, d, false)
+	if r == nil {
+		return
+	}
+	r.histSlot(name, false).observe(d)
 }
 
 // ObserveWall records a wall-clock duration. The series is marked
 // volatile and excluded from Snapshot.Stable.
 func (r *Registry) ObserveWall(name string, d time.Duration) {
-	r.observe(name, d, true)
-}
-
-func (r *Registry) observe(name string, d time.Duration, volatile bool) {
 	if r == nil {
 		return
 	}
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
-	}
-	i := sort.Search(len(durBounds), func(i int) bool { return us <= durBounds[i] })
-	r.mu.Lock()
-	h := r.hists[name]
-	if h == nil {
-		h = &histogram{volatile: volatile, buckets: make([]int64, len(durBounds)+1)}
-		r.hists[name] = h
-	}
-	h.count++
-	h.sum += us
-	h.buckets[i]++
-	r.mu.Unlock()
+	r.histSlot(name, true).observe(d)
 }
 
 // Kind discriminates Entry payloads.
@@ -154,18 +269,26 @@ func (r *Registry) Snapshot() Snapshot {
 	defer r.mu.Unlock()
 	entries := make([]Entry, 0, len(r.counters)+len(r.gauges)+len(r.hists))
 	for name, v := range r.counters {
-		entries = append(entries, Entry{Name: name, Kind: KindCounter, Value: v})
+		entries = append(entries, Entry{Name: name, Kind: KindCounter, Value: v.Load()})
 	}
 	for name, v := range r.gauges {
-		entries = append(entries, Entry{Name: name, Kind: KindGauge, Gauge: v})
+		bits := v.Load()
+		if bits == math.Float64bits(math.Inf(-1)) {
+			continue // handle resolved but never set
+		}
+		entries = append(entries, Entry{Name: name, Kind: KindGauge, Gauge: math.Float64frombits(bits)})
 	}
 	for name, h := range r.hists {
+		buckets := make([]int64, len(h.buckets))
+		for i := range h.buckets {
+			buckets[i] = h.buckets[i].Load()
+		}
 		entries = append(entries, Entry{
 			Name:     name,
 			Kind:     KindHistogram,
-			Count:    h.count,
-			SumMicro: h.sum,
-			Buckets:  append([]int64(nil), h.buckets...),
+			Count:    h.count.Load(),
+			SumMicro: h.sum.Load(),
+			Buckets:  buckets,
 			Volatile: h.volatile,
 		})
 	}

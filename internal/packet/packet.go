@@ -188,10 +188,29 @@ func internetChecksum(b []byte) uint16 {
 // Marshal serializes the packet to wire bytes, computing lengths and the
 // IPv4 header checksum.
 func (p *Packet) Marshal() []byte {
-	buf := make([]byte, p.WireLen())
+	return p.MarshalTo(nil)
+}
+
+// MarshalTo is Marshal into dst's backing array when its capacity suffices
+// (dst is truncated first), allocating only on growth. The fabric's
+// single-marshal fast path reuses one buffer per pooled forwarding state, so
+// steady-state serialization allocates nothing.
+func (p *Packet) MarshalTo(dst []byte) []byte {
+	need := p.WireLen()
+	var buf []byte
+	if cap(dst) >= need {
+		buf = dst[:need]
+	} else {
+		buf = make([]byte, need)
+	}
 	total := len(buf)
-	// IPv4 header.
-	buf[0] = 0x45 // version 4, IHL 5
+	// IPv4 header. Every byte below is written explicitly or zeroed here
+	// (TOS, fragment word, per-transport checksum/urgent bytes), so a dirty
+	// reused buffer serializes identically to a fresh one — the payload copy
+	// at the end covers everything past the transport header.
+	buf[0] = 0x45         // version 4, IHL 5
+	buf[1] = 0            // TOS
+	buf[6], buf[7] = 0, 0 // fragment word
 	binary.BigEndian.PutUint16(buf[2:4], uint16(total))
 	binary.BigEndian.PutUint16(buf[4:6], p.IP.ID)
 	buf[8] = p.IP.TTL
@@ -206,6 +225,7 @@ func (p *Packet) Marshal() []byte {
 		binary.BigEndian.PutUint16(buf[off:], p.UDP.SrcPort)
 		binary.BigEndian.PutUint16(buf[off+2:], p.UDP.DstPort)
 		binary.BigEndian.PutUint16(buf[off+4:], uint16(UDPHeaderLen+len(p.Payload)))
+		buf[off+6], buf[off+7] = 0, 0 // checksum (unused by the lab)
 		off += UDPHeaderLen
 	case p.TCP != nil:
 		binary.BigEndian.PutUint16(buf[off:], p.TCP.SrcPort)
@@ -215,16 +235,49 @@ func (p *Packet) Marshal() []byte {
 		buf[off+12] = 5 << 4 // data offset
 		buf[off+13] = p.TCP.Flags
 		binary.BigEndian.PutUint16(buf[off+14:], p.TCP.Window)
+		buf[off+16], buf[off+17] = 0, 0 // checksum (unused by the lab)
+		buf[off+18], buf[off+19] = 0, 0 // urgent pointer
 		off += TCPHeaderLen
 	case p.ICMP != nil:
 		buf[off] = p.ICMP.Type
 		buf[off+1] = p.ICMP.Code
+		buf[off+2], buf[off+3] = 0, 0 // checksum (unused by the lab)
 		binary.BigEndian.PutUint16(buf[off+4:], p.ICMP.ID)
 		binary.BigEndian.PutUint16(buf[off+6:], p.ICMP.Seq)
 		off += ICMPHeaderLen
 	}
 	copy(buf[off:], p.Payload)
 	return buf
+}
+
+// PatchTTL rewrites the TTL of a marshaled IPv4 packet in place and repairs
+// the header checksum incrementally (RFC 1624 eq. 3: HC' = ~(~HC + ~m + m')).
+// This is how the fabric's single-marshal fast path produces delivery-side
+// wire bytes: the buffer serialized at Send keeps its payload untouched and
+// only the TTL/checksum word is rewritten, yielding bytes identical to a
+// full re-marshal of the hop-decremented header.
+//
+// The result is bit-identical to recomputing the checksum from scratch: both
+// reductions fold a strictly positive sum into [1, 0xffff] and the two sums
+// are congruent mod 0xffff, so the folded values — and hence the stored
+// complement — agree even in the 0x0000/0xffff corner cases that tripped
+// RFC 1141.
+func PatchTTL(wire []byte, ttl uint8) {
+	if len(wire) < IPv4HeaderLen {
+		return
+	}
+	old := binary.BigEndian.Uint16(wire[8:10]) // TTL<<8 | protocol
+	neu := uint16(ttl)<<8 | old&0xff
+	if old == neu {
+		return
+	}
+	hc := binary.BigEndian.Uint16(wire[10:12])
+	sum := uint32(^hc) + uint32(^old) + uint32(neu)
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	binary.BigEndian.PutUint16(wire[8:10], neu)
+	binary.BigEndian.PutUint16(wire[10:12], ^uint16(sum))
 }
 
 var (

@@ -7,6 +7,7 @@ package rtpx
 import (
 	"time"
 
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/packet"
 	"github.com/svrlab/svrlab/internal/simtime"
 	"github.com/svrlab/svrlab/internal/transport"
@@ -57,12 +58,23 @@ type Stream struct {
 	OnVoice func(seq uint16, payload []byte)
 
 	VoiceSent, VoiceRecv int
+
+	// Precomputed metric handles for the per-frame path.
+	cVoiceSent  obs.Counter
+	cVoiceRecv  obs.Counter
+	cSRSent     obs.Counter
+	cRTTSamples obs.Counter
 }
 
 // NewStream binds a voice stream on sock toward remote. The caller retains
 // sock ownership; the stream installs itself as the receive handler.
 func NewStream(sched *simtime.Scheduler, sock *transport.UDPSocket, remote packet.Endpoint, ssrc uint32, muted bool) *Stream {
 	st := &Stream{sched: sched, sock: sock, remote: remote, SSRC: ssrc, muted: muted}
+	m := sock.Metrics()
+	st.cVoiceSent = m.Counter("rtpx.voice_sent")
+	st.cVoiceRecv = m.Counter("rtpx.voice_recv")
+	st.cSRSent = m.Counter("rtpx.rtcp_sr_sent")
+	st.cRTTSamples = m.Counter("rtpx.rtt_samples")
 	sock.OnRecv = func(src packet.Endpoint, payload []byte) { st.onPacket(payload) }
 	st.stopTick = sched.Ticker(VoiceFrameInterval, st.tick)
 	sched.Ticker(rtcpInterval, st.sendSR)
@@ -91,7 +103,7 @@ func (s *Stream) tick() {
 	}, payload)
 	s.sock.SendTo(s.remote, b)
 	s.VoiceSent++
-	s.sock.Metrics().Inc("rtpx.voice_sent")
+	s.cVoiceSent.Inc()
 }
 
 func (s *Stream) sendSR() {
@@ -101,7 +113,7 @@ func (s *Stream) sendSR() {
 		LSR:  compactNTP(s.sched.Now()),
 	})
 	s.sock.SendTo(s.remote, sr)
-	s.sock.Metrics().Inc("rtpx.rtcp_sr_sent")
+	s.cSRSent.Inc()
 }
 
 func (s *Stream) onPacket(b []byte) {
@@ -129,7 +141,7 @@ func (s *Stream) onPacket(b []byte) {
 			if rtt > 0 {
 				s.RTT = rtt
 				s.RTTSamples = append(s.RTTSamples, rtt)
-				s.sock.Metrics().Inc("rtpx.rtt_samples")
+				s.cRTTSamples.Inc()
 			}
 		}
 		return
@@ -139,7 +151,7 @@ func (s *Stream) onPacket(b []byte) {
 		return
 	}
 	s.VoiceRecv++
-	s.sock.Metrics().Inc("rtpx.voice_recv")
+	s.cVoiceRecv.Inc()
 	if s.OnVoice != nil {
 		s.OnVoice(h.Seq, payload)
 	}

@@ -9,6 +9,7 @@ package secure
 import (
 	"encoding/binary"
 
+	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/packet"
 	"github.com/svrlab/svrlab/internal/transport"
 )
@@ -27,6 +28,13 @@ type Session struct {
 	client bool
 	ready  bool
 
+	// Precomputed metric handles for the per-record path.
+	cRecordsSent  obs.Counter
+	cRecordsRecv  obs.Counter
+	cAppBytesSent obs.Counter
+	cAppBytesRecv obs.Counter
+	cHandshakes   obs.Counter
+
 	// OnEstablished fires when the handshake completes.
 	OnEstablished func()
 	// OnData receives defragmented application record bodies.
@@ -42,9 +50,20 @@ type Session struct {
 	AppBytesRecv int
 }
 
+func newSession(conn *transport.Conn, client bool) *Session {
+	s := &Session{conn: conn, client: client}
+	m := conn.Metrics()
+	s.cRecordsSent = m.Counter("secure.records_sent")
+	s.cRecordsRecv = m.Counter("secure.records_recv")
+	s.cAppBytesSent = m.Counter("secure.app_bytes_sent")
+	s.cAppBytesRecv = m.Counter("secure.app_bytes_recv")
+	s.cHandshakes = m.Counter("secure.handshakes")
+	return s
+}
+
 // Client starts a TLS handshake on an already-dialed connection.
 func Client(conn *transport.Conn) *Session {
-	s := &Session{conn: conn, client: true}
+	s := newSession(conn, true)
 	conn.OnData = s.onRaw
 	start := func() {
 		hello := make([]byte, clientHelloLen)
@@ -67,7 +86,7 @@ func Client(conn *transport.Conn) *Session {
 
 // Server wraps an accepted connection and answers the client handshake.
 func Server(conn *transport.Conn) *Session {
-	s := &Session{conn: conn}
+	s := newSession(conn, false)
 	conn.OnData = s.onRaw
 	return s
 }
@@ -97,8 +116,8 @@ func (s *Session) sendNow(data []byte) {
 		}
 		s.conn.Send(packet.MarshalTLSRecord(packet.TLSApplicationData, data[:n]))
 		s.AppBytesSent += n
-		s.conn.Metrics().Inc("secure.records_sent")
-		s.conn.Metrics().Add("secure.app_bytes_sent", int64(n))
+		s.cRecordsSent.Inc()
+		s.cAppBytesSent.Add(int64(n))
 		data = data[n:]
 	}
 }
@@ -126,8 +145,8 @@ func (s *Session) onRaw(b []byte) {
 			s.onHandshake(body)
 		case packet.TLSApplicationData:
 			s.AppBytesRecv += len(body)
-			s.conn.Metrics().Inc("secure.records_recv")
-			s.conn.Metrics().Add("secure.app_bytes_recv", int64(len(body)))
+			s.cRecordsRecv.Inc()
+			s.cAppBytesRecv.Add(int64(len(body)))
 			if s.OnData != nil {
 				s.OnData(append([]byte(nil), body...))
 			}
@@ -143,7 +162,7 @@ func (s *Session) onHandshake(body []byte) {
 			fin[0] = 20
 			s.conn.Send(packet.MarshalTLSRecord(packet.TLSHandshake, fin))
 			s.ready = true
-			s.conn.Metrics().Inc("secure.handshakes")
+			s.cHandshakes.Inc()
 			if s.OnEstablished != nil {
 				s.OnEstablished()
 			}
@@ -161,7 +180,7 @@ func (s *Session) onHandshake(body []byte) {
 	if len(body) > 0 && body[0] == 20 { // client Finished
 		if !s.ready {
 			s.ready = true
-			s.conn.Metrics().Inc("secure.handshakes")
+			s.cHandshakes.Inc()
 			if s.OnEstablished != nil {
 				s.OnEstablished()
 			}

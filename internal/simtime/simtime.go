@@ -9,7 +9,6 @@
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -23,6 +22,11 @@ type Event struct {
 	fn    func()
 	index int // heap index; -1 once removed
 	dead  bool
+	// pooled events came from the scheduler's free list (Post/PostAfter).
+	// They are never exposed to callers, so no one can hold a stale pointer
+	// across recycling; after dispatch they return to the free list instead
+	// of the garbage collector.
+	pooled bool
 }
 
 // At reports the virtual time at which the event fires.
@@ -31,33 +35,126 @@ func (e *Event) At() time.Duration { return e.at }
 // Cancelled reports whether Cancel was called on the event.
 func (e *Event) Cancelled() bool { return e.dead }
 
-type eventHeap []*Event
+// heapEntry keeps the ordering key (at, seq) inline in the heap slice so
+// sift comparisons never dereference an Event. The scheduler heap is the
+// hottest structure in the lab — every packet hop is at least one push and
+// one pop — and the inline keys plus the manual hole-shifting sifts below
+// are worth ~2× over container/heap's interface-dispatched swaps.
+type heapEntry struct {
+	at  time.Duration
+	seq uint64
+	e   *Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+type eventHeap []heapEntry
+
+func entryBefore(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// push appends the entry and sifts it up by shifting ancestors into the
+// hole (one final write instead of a swap per level).
+func (h *eventHeap) push(x heapEntry) {
+	*h = append(*h, x)
+	a := *h
+	j := len(a) - 1
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !entryBefore(x, a[parent]) {
+			break
+		}
+		a[j] = a[parent]
+		a[j].e.index = j
+		j = parent
+	}
+	a[j] = x
+	x.e.index = j
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+// siftDown moves the entry at j toward the leaves until both children are
+// not earlier, again shifting through a hole. Reports whether it moved.
+func (h eventHeap) siftDown(j int) bool {
+	n := len(h)
+	start := j
+	x := h[j]
+	for {
+		l := 2*j + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && entryBefore(h[r], h[l]) {
+			c = r
+		}
+		if !entryBefore(h[c], x) {
+			break
+		}
+		h[j] = h[c]
+		h[j].e.index = j
+		j = c
+	}
+	h[j] = x
+	x.e.index = j
+	return j != start
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
+
+// popMin removes and returns the earliest event.
+func (h *eventHeap) popMin() *Event {
+	a := *h
+	e := a[0].e
+	n := len(a) - 1
+	if n > 0 {
+		a[0] = a[n]
+	}
+	a[n] = heapEntry{}
+	*h = a[:n]
+	if n > 1 {
+		(*h).siftDown(0)
+	} else if n == 1 {
+		a[0].e.index = 0
+	}
 	e.index = -1
-	*h = old[:n-1]
 	return e
+}
+
+// remove deletes the entry at index i (Cancel's path): the last entry
+// replaces it and is re-fixed downward, then upward if it did not move —
+// the same order container/heap.Remove uses.
+func (h *eventHeap) remove(i int) {
+	a := *h
+	a[i].e.index = -1
+	n := len(a) - 1
+	if i != n {
+		a[i] = a[n]
+		a[i].e.index = i
+	}
+	a[n] = heapEntry{}
+	*h = a[:n]
+	if i < n {
+		if !h.siftDown(i) {
+			h.siftUp(i)
+		}
+	}
+}
+
+// siftUp restores the heap property upward from index i.
+func (h eventHeap) siftUp(i int) {
+	x := h[i]
+	j := i
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !entryBefore(x, h[parent]) {
+			break
+		}
+		h[j] = h[parent]
+		h[j].e.index = j
+		j = parent
+	}
+	h[j] = x
+	x.e.index = j
 }
 
 // Scheduler is a single-threaded discrete-event executor with a virtual
@@ -70,13 +167,15 @@ type Scheduler struct {
 	// Dispatched counts events executed since construction; useful for
 	// regression tests that pin simulation cost.
 	dispatched uint64
+	// free is the pooled-event free list (see Post). Its high-water mark is
+	// the peak number of concurrently pending pooled events, so it stays
+	// small even over million-packet runs.
+	free []*Event
 }
 
 // NewScheduler returns a scheduler with the clock at zero.
 func NewScheduler() *Scheduler {
-	s := &Scheduler{}
-	heap.Init(&s.events)
-	return s
+	return &Scheduler{}
 }
 
 // Now returns the current virtual time.
@@ -99,13 +198,51 @@ func (s *Scheduler) At(t time.Duration, fn func()) *Event {
 	}
 	e := &Event{at: t, seq: s.seq, fn: fn}
 	s.seq++
-	heap.Push(&s.events, e)
+	s.events.push(heapEntry{at: t, seq: e.seq, e: e})
 	return e
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
 func (s *Scheduler) After(d time.Duration, fn func()) *Event {
 	return s.At(s.now+d, fn)
+}
+
+// Post schedules fn at absolute virtual time t without returning the Event.
+// Fire-and-forget schedules cannot be cancelled, which lets the scheduler
+// recycle the Event through a free list after dispatch — the per-packet-hop
+// hot path stops allocating an Event per schedule. Semantics are otherwise
+// identical to At (same FIFO tie-breaking, same past-time panic).
+func (s *Scheduler) Post(t time.Duration, fn func()) {
+	if fn == nil {
+		panic("simtime: nil event callback")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("simtime: scheduling at %v, before now %v", t, s.now))
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.at, e.fn, e.dead = t, fn, false
+	} else {
+		e = &Event{at: t, fn: fn, pooled: true}
+	}
+	e.seq = s.seq
+	s.seq++
+	s.events.push(heapEntry{at: t, seq: e.seq, e: e})
+}
+
+// PostAfter is Post at now+d.
+func (s *Scheduler) PostAfter(d time.Duration, fn func()) { s.Post(s.now+d, fn) }
+
+// recycle returns a dispatched pooled event to the free list, dropping the
+// callback reference so the closure's captures do not outlive the event.
+func (s *Scheduler) recycle(e *Event) {
+	if e.pooled {
+		e.fn = nil
+		s.free = append(s.free, e)
+	}
 }
 
 // Cancel removes a pending event. Cancelling an already-fired or
@@ -116,7 +253,7 @@ func (s *Scheduler) Cancel(e *Event) {
 	}
 	e.dead = true
 	if e.index >= 0 {
-		heap.Remove(&s.events, e.index)
+		s.events.remove(e.index)
 	}
 }
 
@@ -125,14 +262,16 @@ func (s *Scheduler) Cancel(e *Event) {
 // jumps to the event's firing time before the callback runs.
 func (s *Scheduler) Step() bool {
 	for len(s.events) > 0 && !s.stopped {
-		e := heap.Pop(&s.events).(*Event)
+		e := s.events.popMin()
 		if e.dead {
 			continue
 		}
 		e.dead = true
 		s.now = e.at
 		s.dispatched++
-		e.fn()
+		fn := e.fn
+		s.recycle(e)
+		fn()
 		return true
 	}
 	return false
@@ -153,8 +292,8 @@ func (s *Scheduler) RunUntil(t time.Duration) {
 	}
 	for len(s.events) > 0 && !s.stopped {
 		next := s.events[0]
-		if next.dead {
-			heap.Pop(&s.events)
+		if next.e.dead {
+			s.events.popMin()
 			continue
 		}
 		if next.at > t {

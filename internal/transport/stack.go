@@ -35,6 +35,15 @@ type Stack struct {
 	// Some real services block ICMP (the paper falls back to TCP ping);
 	// profiles disable this to force that fallback.
 	EchoReply bool
+
+	// Precomputed metric handles for per-segment/per-ACK call sites.
+	cRetransmits     obs.Counter
+	cFastRetransmits obs.Counter
+	cRTOBackoffs     obs.Counter
+	cConnsDialed     obs.Counter
+	cConnsAccepted   obs.Counter
+	cConnsAborted    obs.Counter
+	gCwndMax         obs.MaxGauge
 }
 
 type connKey struct {
@@ -53,6 +62,14 @@ func NewStack(n *netsim.Network, h *netsim.Host) *Stack {
 		nextPort:  33000,
 		EchoReply: true,
 	}
+	m := n.Metrics
+	s.cRetransmits = m.Counter("transport.retransmits")
+	s.cFastRetransmits = m.Counter("transport.fast_retransmits")
+	s.cRTOBackoffs = m.Counter("transport.rto_backoffs")
+	s.cConnsDialed = m.Counter("transport.conns_dialed")
+	s.cConnsAccepted = m.Counter("transport.conns_accepted")
+	s.cConnsAborted = m.Counter("transport.conns_aborted")
+	s.gCwndMax = m.MaxGauge("transport.cwnd_max_bytes")
 	h.Handler = s.handle
 	return s
 }

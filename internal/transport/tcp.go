@@ -5,7 +5,6 @@ import (
 
 	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/packet"
-	"github.com/svrlab/svrlab/internal/simtime"
 )
 
 // MSS is the maximum TCP segment payload.
@@ -91,7 +90,15 @@ type Conn struct {
 	rttAt  time.Duration
 	timing bool
 
-	rtoTimer *simtime.Event
+	// RTO timer, lazily deferred: re-arming on an ACK only moves
+	// rtoDeadline (no scheduling, no allocation). A pooled fire-and-forget
+	// event pends at rtoEventAt <= rtoDeadline; when it fires before the
+	// live deadline it re-posts itself for the deadline and returns, so the
+	// timer costs one heap entry per connection instead of one per ACK.
+	// rtoFire is the once-bound callback.
+	rtoDeadline time.Duration // fire time of the live arm; 0 = disarmed
+	rtoEventAt  time.Duration // earliest pending event; 0 = none pending
+	rtoFire     func()
 
 	// Receive side.
 	rcvNxt uint32
@@ -121,11 +128,11 @@ func (c *Conn) Metrics() *obs.Registry { return c.stack.Net.Metrics }
 // retransmit, NewReno partial ACK) triggered them.
 func (c *Conn) countRetransmit() {
 	c.Retransmits++
-	c.Metrics().Inc("transport.retransmits")
+	c.stack.cRetransmits.Inc()
 }
 
 // noteCwnd records the congestion-window high-water mark.
-func (c *Conn) noteCwnd() { c.Metrics().SetMax("transport.cwnd_max_bytes", c.cwnd) }
+func (c *Conn) noteCwnd() { c.stack.gCwndMax.Set(c.cwnd) }
 
 // State returns the connection state.
 func (c *Conn) State() ConnState { return c.state }
@@ -153,7 +160,7 @@ func (s *Stack) DialTCP(dst packet.Endpoint) *Conn {
 	c.iss = uint32(s.Net.Rng.Int63())
 	c.sndUna, c.sndNxt = c.iss, c.iss
 	s.conns[connKey{c.Local.Port, dst}] = c
-	s.Net.Metrics.Inc("transport.conns_dialed")
+	s.cConnsDialed.Inc()
 	c.sendSeg(&packet.TCP{Flags: packet.FlagSYN, Seq: c.iss}, nil)
 	c.sndNxt++ // SYN consumes a sequence number
 	c.armRTO()
@@ -187,7 +194,7 @@ func (s *Stack) handleTCP(p *packet.Packet) {
 		c.iss = uint32(s.Net.Rng.Int63())
 		c.sndUna, c.sndNxt = c.iss, c.iss
 		s.conns[key] = c
-		s.Net.Metrics.Inc("transport.conns_accepted")
+		s.cConnsAccepted.Inc()
 		c.sendSeg(&packet.TCP{Flags: packet.FlagSYN | packet.FlagACK, Seq: c.iss, Ack: c.rcvNxt}, nil)
 		c.sndNxt++
 		c.armRTO()
@@ -261,32 +268,56 @@ func (c *Conn) pump() {
 func (c *Conn) now() time.Duration { return c.stack.Net.Sched.Now() }
 
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil {
-		c.stack.Net.Sched.Cancel(c.rtoTimer)
-		c.rtoTimer = nil
-	}
 	if c.Unacked() == 0 && c.state == StateEstablished {
+		c.rtoDeadline = 0
 		return
 	}
 	if c.state == StateClosed {
+		c.rtoDeadline = 0
 		return
 	}
-	c.rtoTimer = c.stack.Net.Sched.After(c.rto, c.onRTO)
+	c.rtoDeadline = c.now() + c.rto
+	// A pending event at or before the new deadline will defer itself
+	// there; only schedule when none covers it (first arm, or the deadline
+	// moved earlier because the RTT estimate shrank).
+	if c.rtoEventAt == 0 || c.rtoDeadline < c.rtoEventAt {
+		if c.rtoFire == nil {
+			c.rtoFire = c.onRTOFire
+		}
+		c.rtoEventAt = c.rtoDeadline
+		c.stack.Net.Sched.Post(c.rtoDeadline, c.rtoFire)
+	}
+}
+
+// onRTOFire runs for every pending timer event; it defers to the live
+// deadline when the arm has moved later, and no-ops when disarmed.
+func (c *Conn) onRTOFire() {
+	c.rtoEventAt = 0
+	if c.rtoDeadline == 0 {
+		return // disarmed
+	}
+	if now := c.now(); c.rtoDeadline > now {
+		// The deadline moved later since this event was posted: defer.
+		c.rtoEventAt = c.rtoDeadline
+		c.stack.Net.Sched.Post(c.rtoDeadline, c.rtoFire)
+		return
+	}
+	c.rtoDeadline = 0
+	c.onRTO()
 }
 
 func (c *Conn) onRTO() {
-	c.rtoTimer = nil
 	if c.state == StateClosed {
 		return
 	}
 	c.retries++
 	if c.retries > maxRetries {
-		c.Metrics().Inc("transport.conns_aborted")
+		c.stack.cConnsAborted.Inc()
 		c.close("too many retransmissions")
 		return
 	}
 	// Collapse the window and back off.
-	c.Metrics().Inc("transport.rto_backoffs")
+	c.stack.cRTOBackoffs.Inc()
 	c.ssthresh = maxf(float64(c.Unacked())/2, 2*MSS)
 	c.cwnd = MSS
 	c.inRecovery = false
@@ -334,10 +365,7 @@ func (c *Conn) close(reason string) {
 		return
 	}
 	c.state = StateClosed
-	if c.rtoTimer != nil {
-		c.stack.Net.Sched.Cancel(c.rtoTimer)
-		c.rtoTimer = nil
-	}
+	c.rtoDeadline = 0
 	delete(c.stack.conns, connKey{c.Local.Port, c.Remote})
 	if c.OnClose != nil {
 		c.OnClose(reason)
@@ -463,7 +491,7 @@ func (c *Conn) receive(p *packet.Packet) {
 			c.dupAcks++
 			if c.dupAcks == 3 && !c.inRecovery {
 				// Fast retransmit + NewReno fast recovery.
-				c.Metrics().Inc("transport.fast_retransmits")
+				c.stack.cFastRetransmits.Inc()
 				c.ssthresh = maxf(float64(c.Unacked())/2, 2*MSS)
 				c.cwnd = c.ssthresh + 3*MSS
 				c.inRecovery = true
