@@ -15,8 +15,14 @@
 //	-users a,b,c   user-count sweep override
 //	-workers N     worker pool size for parallel sweeps (0 = GOMAXPROCS);
 //	               any value yields bit-identical artifacts
+//	-format F      artifact output format: text (default) or json
 //	-metrics       print the lab's metrics table (drops, queueing delay,
 //	               retransmits, ...) after each artifact
+//	-trace F       record a flight-recorder trace of every simulation cell
+//	               and write it to F after the run
+//	-trace-format  trace export format: chrome (default; open in Perfetto
+//	               or chrome://tracing) or text
+//	-pcap DIR      save each traced cell's U1 capture tap as DIR/<cell>.pcap
 //	-cpuprofile F  write a pprof CPU profile of the run to F
 //	-memprofile F  write a pprof heap profile (after the run) to F
 package main
@@ -48,6 +54,9 @@ func main() {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	format := fs.String("format", "text", "output format: text or json")
 	metrics := fs.Bool("metrics", false, "print the metrics table after each artifact")
+	traceOut := fs.String("trace", "", "write a flight-recorder trace to this file")
+	traceFormat := fs.String("trace-format", "chrome", "trace format: chrome or text")
+	pcapDir := fs.String("pcap", "", "save per-cell capture taps as pcap files in this directory")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 
@@ -69,6 +78,7 @@ func main() {
 		if *metrics {
 			opts.Metrics = svrlab.NewMetricsRegistry()
 		}
+		setupSink(&opts, *traceOut, *pcapDir)
 		stopProfiles := startProfiles(*cpuProfile, *memProfile)
 		res, err := svrlab.Run(id, opts)
 		stopProfiles()
@@ -78,11 +88,15 @@ func main() {
 		}
 		emit(res, *format)
 		emitMetrics(opts.Metrics)
+		exportTrace(opts.Trace, *traceOut, *traceFormat)
 	case "all":
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
 		}
 		opts := buildOpts(*seed, *repeats, *platformName, *users, *workers)
+		// One collector across all experiments: cell labels are prefixed by
+		// experiment id, so the combined trace stays unambiguous.
+		setupSink(&opts, *traceOut, *pcapDir)
 		stopProfiles := startProfiles(*cpuProfile, *memProfile)
 		for _, info := range svrlab.Experiments() {
 			fmt.Printf("==== %s (%s) ====\n", info.ID, info.Artifact)
@@ -101,6 +115,7 @@ func main() {
 			fmt.Println()
 		}
 		stopProfiles()
+		exportTrace(opts.Trace, *traceOut, *traceFormat)
 	default:
 		usage()
 		os.Exit(2)
@@ -158,6 +173,43 @@ func startProfiles(cpuPath, memPath string) func() {
 	}
 }
 
+// setupSink enables trace collection and pcap saving on the options when
+// the -trace / -pcap flags were given (creating the pcap directory).
+func setupSink(opts *svrlab.Options, traceOut, pcapDir string) {
+	if traceOut != "" {
+		opts.Trace = svrlab.NewTraceCollector()
+	}
+	if pcapDir != "" {
+		if err := os.MkdirAll(pcapDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts.PcapDir = pcapDir
+	}
+}
+
+// exportTrace writes the collected flight-recorder trace when -trace was
+// given.
+func exportTrace(c *svrlab.TraceCollector, path, format string) {
+	if c == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := c.Export(f, format); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
 // emitMetrics prints the sorted metrics table when -metrics was given.
 func emitMetrics(reg *svrlab.MetricsRegistry) {
 	if reg == nil {
@@ -198,6 +250,8 @@ func usage() {
 
 usage:
   svrlab list
-  svrlab run <experiment-id> [-seed N] [-repeats N] [-platform P] [-users a,b,c] [-workers N] [-metrics] [-cpuprofile F] [-memprofile F]
+  svrlab run <experiment-id> [-seed N] [-repeats N] [-platform P] [-users a,b,c] [-workers N]
+             [-format text|json] [-metrics] [-trace F] [-trace-format chrome|text] [-pcap DIR]
+             [-cpuprofile F] [-memprofile F]
   svrlab all [flags]`)
 }

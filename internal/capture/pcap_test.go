@@ -81,6 +81,33 @@ func TestPcapRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestPcapTruncatedGlobalHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Every proper prefix of the 24-byte global header must be rejected.
+	for n := 0; n < buf.Len(); n++ {
+		if _, err := ReadPcap(bytes.NewReader(buf.Bytes()[:n])); err == nil {
+			t.Fatalf("accepted %d-byte global header prefix", n)
+		}
+	}
+}
+
+func TestPcapTruncatedRecordHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, []Record{{TS: time.Second, Wire: samplePacket(20)}}); err != nil {
+		t.Fatal(err)
+	}
+	// Cut inside the 16-byte record header (after the global header): a
+	// partial record header is a malformed file, not a clean EOF.
+	for _, cut := range []int{24 + 1, 24 + 8, 24 + 15} {
+		if _, err := ReadPcap(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("accepted pcap cut at byte %d (inside record header)", cut)
+		}
+	}
+}
+
 func TestSnifferSavePcap(t *testing.T) {
 	r := newRig(t)
 	r.sendUDP(time.Second, 40)

@@ -70,15 +70,15 @@ func (sc *Schedule) Run(sched *simtime.Scheduler, start time.Duration) (end time
 		t := at
 		sched.At(t, func() {
 			sc.Applied = append(sc.Applied, AppliedStage{At: sched.Now(), Stage: st})
-			sc.apply(st)
+			sc.apply(st, sched.Now())
 		})
 		at += st.Duration
 	}
-	sched.At(at, func() { sc.clear() })
+	sched.At(at, func() { sc.clear(sched.Now()) })
 	return at
 }
 
-func (sc *Schedule) apply(st Stage) {
+func (sc *Schedule) apply(st Stage, at time.Duration) {
 	var ne *netsim.Netem
 	if !st.IsClear() {
 		ne = &netsim.Netem{RateBps: st.RateBps, Delay: st.Delay, Loss: st.Loss, Filter: st.Filter}
@@ -88,9 +88,17 @@ func (sc *Schedule) apply(st Stage) {
 	} else {
 		sc.Host.DownNetem = ne
 	}
+	// Stage boundaries are cold-path; formatting the label here is fine.
+	if tr := sc.Host.Tracer(); tr != nil {
+		name := sc.Dir.String() + ":" + st.Label
+		if st.Label == "" {
+			name = sc.Dir.String() + ":clear"
+		}
+		tr.Netem(at, sc.Host.ID, name, int64(st.RateBps), int64(st.Delay/time.Microsecond))
+	}
 }
 
-func (sc *Schedule) clear() { sc.apply(Stage{}) }
+func (sc *Schedule) clear(at time.Duration) { sc.apply(Stage{}, at) }
 
 // The paper's §8 parameter sweeps.
 

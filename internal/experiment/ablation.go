@@ -55,7 +55,7 @@ func RemoteAblation(name platform.Name, counts []int, seed int64, workers int, r
 	points := runner.MapObserved(reg, workers, len(eligible), func(i int) RemotePoint {
 		n := eligible[i]
 		pt := RemotePoint{Users: n}
-		pt.LocalDownBps, pt.LocalFPS, _, _, _, _ = scalingRun(name, n, seed+int64(n), reg)
+		pt.LocalDownBps, pt.LocalFPS, _, _, _, _ = scalingRun(name, n, seed+int64(n), reg, nil, "")
 		pt.RemoteDownBps, pt.RemoteFramesPS, pt.RemoteFPS = remoteRun(p, n, seed+int64(n), reg)
 		return pt
 	})
@@ -130,7 +130,7 @@ func P2PAblation(name platform.Name, counts []int, seed int64, workers int, reg 
 	points := runner.MapObserved(reg, workers, len(eligible), func(i int) P2PPoint {
 		n := eligible[i]
 		pt := P2PPoint{Users: n}
-		pt.ServerDownBps, _, _, _, _, _ = scalingRun(name, n, seed+int64(n), reg)
+		pt.ServerDownBps, _, _, _, _, _ = scalingRun(name, n, seed+int64(n), reg, nil, "")
 		pt.ServerUplinkBps = serverUplink(name, n, seed+int64(n), reg)
 		pt.P2PUplinkBps, pt.P2PDownBps = p2pRun(p, n, seed+int64(n), reg)
 		return pt

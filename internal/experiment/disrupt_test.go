@@ -10,7 +10,7 @@ import (
 
 func TestFig12DownlinkDisruption(t *testing.T) {
 	reg := obs.NewRegistry()
-	r := Fig12(141, reg)
+	r := Fig12(141, reg, nil)
 	if len(r.Stages) != 7 {
 		t.Fatalf("stages = %d", len(r.Stages))
 	}
@@ -67,7 +67,7 @@ func TestFig12DownlinkDisruption(t *testing.T) {
 }
 
 func TestFig13UplinkBandwidthStages(t *testing.T) {
-	r := Fig13(Fig13Bandwidth, 151, nil)
+	r := Fig13(Fig13Bandwidth, 151, nil, nil)
 	// Uplink honours the caps: 0.3 Mbps stage ≪ 1.5 Mbps stage.
 	up0 := r.StageMean(&r.UDPUp, 0)
 	up5 := r.StageMean(&r.UDPUp, 5)
@@ -87,7 +87,7 @@ func TestFig13UplinkBandwidthStages(t *testing.T) {
 
 func TestFig13TCPOnlyControl(t *testing.T) {
 	reg := obs.NewRegistry()
-	r := Fig13(Fig13TCPOnly, 161, reg)
+	r := Fig13(Fig13TCPOnly, 161, reg, nil)
 	// Gaps in UDP uplink during the TCP delay stages.
 	if r.UDPGapSeconds < 10 {
 		t.Fatalf("UDP gap seconds = %d, want many (TCP-priority stalls)", r.UDPGapSeconds)

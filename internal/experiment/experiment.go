@@ -9,14 +9,18 @@ package experiment
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"github.com/svrlab/svrlab/internal/capture"
 	"github.com/svrlab/svrlab/internal/netsim"
 	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/packet"
 	"github.com/svrlab/svrlab/internal/platform"
 	"github.com/svrlab/svrlab/internal/simtime"
+	"github.com/svrlab/svrlab/internal/trace"
 	"github.com/svrlab/svrlab/internal/world"
 )
 
@@ -59,6 +63,53 @@ func NewLab(seed int64) *Lab {
 func NewLabObserved(seed int64, m *obs.Registry) *Lab {
 	s := simtime.NewScheduler()
 	return &Lab{Sched: s, Dep: platform.NewDeploymentObserved(s, seed, m), Seed: seed}
+}
+
+// NewLabTraced is NewLabObserved with a flight recorder attached: every
+// layer of the stack records packet spans, TCP/TLS/RTCP events, and action
+// stamps into tr. A nil tr keeps tracing disabled at zero cost.
+func NewLabTraced(seed int64, m *obs.Registry, tr *trace.Tracer) *Lab {
+	l := NewLabObserved(seed, m)
+	l.Dep.Net.Tracer = tr
+	return l
+}
+
+// Trace returns the lab's flight recorder (nil when tracing is disabled).
+func (l *Lab) Trace() *trace.Tracer { return l.Dep.Net.Tracer }
+
+// Sink collects per-cell observability artifacts of an experiment sweep:
+// flight-recorder traces (one Tracer per cell, labeled deterministically so
+// collector exports are byte-identical at any worker count) and, when
+// PcapDir is set, each cell's capture tap saved as a Wireshark-openable
+// pcap file. A nil *Sink disables both at zero cost.
+type Sink struct {
+	// Traces, when non-nil, receives one tracer per sweep cell.
+	Traces *trace.Collector
+	// PcapDir, when non-empty, is the directory capture taps are saved to
+	// as "<label>.pcap" (with '/' in labels flattened to '_').
+	PcapDir string
+}
+
+// Tracer returns the cell tracer for a label (nil when tracing is off).
+func (s *Sink) Tracer(label string) *trace.Tracer {
+	if s == nil || s.Traces == nil {
+		return nil
+	}
+	return s.Traces.Cell(label)
+}
+
+// SavePcap writes a cell's capture records to PcapDir (no-op when unset).
+func (s *Sink) SavePcap(label string, sn *capture.Sniffer) error {
+	if s == nil || s.PcapDir == "" || sn == nil {
+		return nil
+	}
+	name := strings.ReplaceAll(label, "/", "_") + ".pcap"
+	f, err := os.Create(filepath.Join(s.PcapDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return sn.SavePcap(f)
 }
 
 // SpawnOpts controls client creation.

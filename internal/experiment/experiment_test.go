@@ -127,7 +127,7 @@ func TestTable2InfrastructureShape(t *testing.T) {
 }
 
 func TestFig2ChannelPhases(t *testing.T) {
-	r := Fig2(platform.VRChat, 33, nil)
+	r := Fig2(platform.VRChat, 33, nil, nil)
 	// Data channel silent on the welcome page, active in the event.
 	if w := r.WelcomeDataMean(); w > 2000 {
 		t.Fatalf("welcome data = %.0f bps, want ≈0", w)
@@ -145,7 +145,7 @@ func TestFig2ChannelPhases(t *testing.T) {
 }
 
 func TestFig2AltspaceHasPeriodicControlSpikes(t *testing.T) {
-	r := Fig2(platform.AltspaceVR, 35, nil)
+	r := Fig2(platform.AltspaceVR, 35, nil, nil)
 	// During the event, the control channel shows the ~10 s report spikes:
 	// several seconds with uplink activity well above the median.
 	spikes := 0
@@ -251,7 +251,7 @@ func TestFig6AltspaceViewportBothVariants(t *testing.T) {
 }
 
 func TestScalingSmall(t *testing.T) {
-	r := Scaling(platform.RecRoom, []int{1, 3, 5}, 2, 81, 3, nil)
+	r := Scaling(platform.RecRoom, []int{1, 3, 5}, 2, 81, 3, nil, nil)
 	if len(r.Points) != 3 {
 		t.Fatalf("points = %d", len(r.Points))
 	}
@@ -283,7 +283,7 @@ func TestScalingSmall(t *testing.T) {
 }
 
 func TestWorldsRespectsEventCap(t *testing.T) {
-	r := Scaling(platform.Worlds, []int{15, 20}, 1, 83, 2, nil)
+	r := Scaling(platform.Worlds, []int{15, 20}, 1, 83, 2, nil, nil)
 	// 20 exceeds the 16-user cap and must be skipped.
 	if len(r.Points) != 1 || r.Points[0].Users != 15 {
 		t.Fatalf("points = %+v, want only 15", r.Points)
@@ -291,7 +291,7 @@ func TestWorldsRespectsEventCap(t *testing.T) {
 }
 
 func TestFig9PrivateHubsLargeScale(t *testing.T) {
-	r := Fig9([]int{15, 22}, 1, 91, 2, nil)
+	r := Fig9([]int{15, 22}, 1, 91, 2, nil, nil)
 	if len(r.Points) != 2 {
 		t.Fatalf("points = %d", len(r.Points))
 	}

@@ -29,8 +29,9 @@ type Fig12Result struct {
 // Fig12 reproduces the §8.1 downlink experiment on Worlds: two users in a
 // shooting game, U1's downlink capped at 1/0.7/0.5/0.3/0.2/0.1 Mbps for
 // 40 s each, then released.
-func Fig12(seed int64, reg *obs.Registry) *Fig12Result {
-	l := NewLabObserved(seed, reg)
+func Fig12(seed int64, reg *obs.Registry, sink *Sink) *Fig12Result {
+	const label = "fig12"
+	l := NewLabTraced(seed, reg, sink.Tracer(label))
 	name := platform.Worlds
 	cs := l.Spawn(name, 2, SpawnOpts{})
 	l.Sched.At(5*time.Second, func() {
@@ -42,7 +43,10 @@ func Fig12(seed int64, reg *obs.Registry) *Fig12Result {
 
 	sc := &disrupt.Schedule{Host: cs[0].Host, Dir: disrupt.Downlink, Stages: disrupt.DownlinkBandwidthStages()}
 	end := sc.Run(l.Sched, 20*time.Second)
+	l.Trace().Phase(20*time.Second, "disruption")
+	l.Trace().Phase(end, "recovery")
 	l.Sched.RunUntil(end + 10*time.Second)
+	_ = sink.SavePcap(label, sniff)
 
 	total := end + 10*time.Second
 	udp := capture.FilterProto(packet.ProtoUDP)

@@ -43,8 +43,12 @@ type Fig13Result struct {
 }
 
 // Fig13 reproduces the §8.1 uplink experiments on Worlds in game mode.
-func Fig13(mode Fig13Mode, seed int64, reg *obs.Registry) *Fig13Result {
-	l := NewLabObserved(seed, reg)
+func Fig13(mode Fig13Mode, seed int64, reg *obs.Registry, sink *Sink) *Fig13Result {
+	label := "fig13/bandwidth"
+	if mode == Fig13TCPOnly {
+		label = "fig13/tcponly"
+	}
+	l := NewLabTraced(seed, reg, sink.Tracer(label))
 	cs := l.Spawn(platform.Worlds, 2, SpawnOpts{})
 	l.Sched.At(5*time.Second, func() {
 		arrangeCircle(cs)
@@ -61,7 +65,10 @@ func Fig13(mode Fig13Mode, seed int64, reg *obs.Registry) *Fig13Result {
 	}
 	sc := &disrupt.Schedule{Host: cs[0].Host, Dir: disrupt.Uplink, Stages: stages}
 	end := sc.Run(l.Sched, 20*time.Second)
+	l.Trace().Phase(20*time.Second, "disruption")
+	l.Trace().Phase(end, "recovery")
 	l.Sched.RunUntil(end + 20*time.Second)
+	_ = sink.SavePcap(label, sniff)
 
 	total := end + 20*time.Second
 	udp := capture.FilterProto(packet.ProtoUDP)
@@ -171,7 +178,7 @@ func DisruptLatencyLoss(seed int64, reg *obs.Registry) *DisruptQoEResult {
 	for _, name := range []platform.Name{platform.Worlds, platform.RecRoom, platform.VRChat} {
 		p := platform.Get(name)
 		row := DisruptQoERow{Platform: name, Game: p.Game.Name}
-		base := measureLatency(name, 2, 8, seed, false, reg)
+		base := measureLatency(name, 2, 8, seed, false, reg, nil)
 		row.BaselineE2EMs = base.E2E.Mean
 		for _, added := range []int{50, 100, 200} {
 			row.AddedMs = append(row.AddedMs, added)

@@ -27,14 +27,18 @@ type Fig2Result struct {
 // data channels by server endpoint and protocol, as the capture analysis in
 // §4.1 does. The Hubs initial scene download (>100 Mbit/s) is excluded, as
 // in the paper.
-func Fig2(name platform.Name, seed int64, reg *obs.Registry) *Fig2Result {
-	l := NewLabObserved(seed, reg)
+func Fig2(name platform.Name, seed int64, reg *obs.Registry, sink *Sink) *Fig2Result {
+	label := "fig2/" + string(name)
+	l := NewLabTraced(seed, reg, sink.Tracer(label))
 	p := platform.Get(name)
 	const joinAt = 90 * time.Second
 	const total = 180 * time.Second
+	l.Trace().Phase(0, "welcome")
+	l.Trace().Phase(joinAt, "social-event")
 	cs := l.Spawn(name, 2, SpawnOpts{JoinAt: joinAt, Wander: true})
 	sniff := capture.Attach(cs[0].Host)
 	l.Sched.RunUntil(total)
+	_ = sink.SavePcap(label, sniff)
 
 	ctrlAddr := l.Dep.ControlEndpoint(p, cs[0].Host.Site).Addr
 	notAsset := l.notAsset(p)

@@ -9,6 +9,7 @@ import (
 	"github.com/svrlab/svrlab/internal/platform"
 	"github.com/svrlab/svrlab/internal/runner"
 	"github.com/svrlab/svrlab/internal/stats"
+	"github.com/svrlab/svrlab/internal/trace"
 )
 
 // LatencyBreakdown is one platform's Table 4 row (all values milliseconds).
@@ -32,29 +33,39 @@ type Table4Result struct {
 // paper's method: trigger an action on U1, record frame-accurate display on
 // U2, synchronize the two headset clocks through the AP, and break the path
 // down with trace timestamps.
-func Table4(seed int64, repeats int, workers int, reg *obs.Registry) *Table4Result {
+func Table4(seed int64, repeats int, workers int, reg *obs.Registry, sink *Sink) *Table4Result {
 	if repeats <= 0 {
 		repeats = 20
 	}
 	// One cell per platform row plus the private-Hubs row (Hubs*), each its
-	// own Lab, fanned out and collected in the paper's row order.
+	// own Lab, fanned out and collected in the paper's row order. Cell labels
+	// are derived from the row, not the worker, so trace exports stay
+	// byte-identical at any worker count.
 	all := platform.All()
 	rows := runner.MapObserved(reg, workers, len(all)+1, func(i int) LatencyBreakdown {
 		if i < len(all) {
-			return measureLatency(all[i].Name, 2, repeats, seed, false, reg)
+			return measureLatency(all[i].Name, 2, repeats, seed, false, reg,
+				sink.Tracer("table4/"+string(all[i].Name)))
 		}
-		return measureLatency(platform.Hubs, 2, repeats, seed^0x9a, true, reg)
+		return measureLatency(platform.Hubs, 2, repeats, seed^0x9a, true, reg,
+			sink.Tracer("table4/"+string(platform.Hubs)+"*"))
 	})
 	return &Table4Result{Rows: rows}
 }
 
 // measureLatency runs `repeats` marked actions in an n-user event and
-// decomposes the latency.
-func measureLatency(name platform.Name, n, repeats int, seed int64, private bool, reg *obs.Registry) LatencyBreakdown {
-	l := NewLabObserved(seed, reg)
+// decomposes the latency. A non-nil tr records the full flight-recorder
+// view; phase markers carry explicit future timestamps so tracing never
+// touches the scheduler (traced and untraced runs stay byte-identical).
+func measureLatency(name platform.Name, n, repeats int, seed int64, private bool, reg *obs.Registry, tr *trace.Tracer) LatencyBreakdown {
+	l := NewLabTraced(seed, reg, tr)
 	if private {
 		l.Dep.DeployPrivateHubs(platform.SiteUSEast)
 	}
+	tr.Phase(0, "launch")
+	tr.Phase(time.Second, "join")
+	tr.Phase(2*time.Second, "arrange")
+	tr.Phase(10*time.Second, "actions")
 	cs := make([]*platform.Client, n)
 	for i := 0; i < n; i++ {
 		c := platform.NewClient(l.Dep, name, fmt.Sprintf("u%d", i+1), platform.SiteCampus, 10+i)
@@ -130,14 +141,15 @@ type Fig11Result struct {
 
 // Fig11 measures E2E latency at event sizes 2-7 (paper Figure 11), one
 // worker-pool cell per event size.
-func Fig11(name platform.Name, repeats int, seed int64, workers int, reg *obs.Registry) *Fig11Result {
+func Fig11(name platform.Name, repeats int, seed int64, workers int, reg *obs.Registry, sink *Sink) *Fig11Result {
 	if repeats <= 0 {
 		repeats = 10
 	}
 	const minUsers, maxUsers = 2, 7
 	rows := runner.MapObserved(reg, workers, maxUsers-minUsers+1, func(i int) LatencyBreakdown {
 		n := minUsers + i
-		return measureLatency(name, n, repeats, seed+int64(n)*1337, false, reg)
+		return measureLatency(name, n, repeats, seed+int64(n)*1337, false, reg,
+			sink.Tracer(fmt.Sprintf("fig11/%s/n%d", name, n)))
 	})
 	res := &Fig11Result{Platform: name}
 	for i, row := range rows {

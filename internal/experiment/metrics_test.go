@@ -14,7 +14,7 @@ import (
 func TestMetricsDeterministicAcrossWorkers(t *testing.T) {
 	run := func(workers int) (artifact, metrics string, snap obs.Snapshot) {
 		reg := obs.NewRegistry()
-		r := Scaling(platform.RecRoom, []int{1, 3}, 2, 81, workers, reg)
+		r := Scaling(platform.RecRoom, []int{1, 3}, 2, 81, workers, reg, nil)
 		s := reg.Snapshot()
 		return r.Render(), s.Stable().String(), s
 	}

@@ -45,7 +45,7 @@ type scaleCell struct {
 // (Worlds: 16). Every (user-count, repeat) cell runs its own Lab, so cells
 // fan out across the worker pool; seeds and output order are identical to
 // the serial sweep.
-func Scaling(name platform.Name, counts []int, repeats int, seed int64, workers int, reg *obs.Registry) *ScalingResult {
+func Scaling(name platform.Name, counts []int, repeats int, seed int64, workers int, reg *obs.Registry, sink *Sink) *ScalingResult {
 	if repeats <= 0 {
 		repeats = 3
 	}
@@ -58,7 +58,8 @@ func Scaling(name platform.Name, counts []int, repeats int, seed int64, workers 
 	}
 	cells := runner.MapObserved(reg, workers, len(eligible)*repeats, func(i int) scaleCell {
 		n, rep := eligible[i/repeats], i%repeats
-		d, f, c, g, m, bd := scalingRun(name, n, seed+int64(rep)*977+int64(n), reg)
+		label := fmt.Sprintf("fig7/%s/n%d/rep%d", name, n, rep)
+		d, f, c, g, m, bd := scalingRun(name, n, seed+int64(rep)*977+int64(n), reg, sink, label)
 		return scaleCell{d, f, c, g, m, bd}
 	})
 	res := &ScalingResult{Platform: name, Repeats: repeats}
@@ -86,14 +87,18 @@ func Scaling(name platform.Name, counts []int, repeats int, seed int64, workers 
 }
 
 // scalingRun is one event: n users in a circle, everyone visible, measured
-// over a 40 s steady window.
-func scalingRun(name platform.Name, n int, seed int64, reg *obs.Registry) (downBps, fps, cpu, gpu, mem, battDrain float64) {
-	l := NewLabObserved(seed, reg)
+// over a 40 s steady window. The sink (may be nil) receives the cell's
+// flight-recorder trace and U1's capture tap as a pcap.
+func scalingRun(name platform.Name, n int, seed int64, reg *obs.Registry, sink *Sink, label string) (downBps, fps, cpu, gpu, mem, battDrain float64) {
+	l := NewLabTraced(seed, reg, sink.Tracer(label))
+	l.Trace().Phase(2*time.Second, "arrange")
+	l.Trace().Phase(20*time.Second, "steady-window")
 	p := platform.Get(name)
 	cs := l.Spawn(name, n, SpawnOpts{})
 	l.Sched.At(2*time.Second, func() { arrangeCircle(cs) })
 	sniff := capture.Attach(cs[0].Host)
 	l.Sched.RunUntil(60 * time.Second)
+	_ = sink.SavePcap(label, sniff)
 
 	ctrlAddr := l.Dep.ControlEndpoint(p, cs[0].Host.Site).Addr
 	f := l.dataOnly(p, ctrlAddr)
@@ -142,7 +147,7 @@ func (r *ScalingResult) Render() string {
 
 // Fig9 runs the large-scale private-Hubs event (paper Figure 9, 15-28
 // users) against a self-hosted server. Cells fan out like Scaling's.
-func Fig9(counts []int, repeats int, seed int64, workers int, reg *obs.Registry) *ScalingResult {
+func Fig9(counts []int, repeats int, seed int64, workers int, reg *obs.Registry, sink *Sink) *ScalingResult {
 	if len(counts) == 0 {
 		counts = []int{15, 20, 25, 28}
 	}
@@ -151,7 +156,8 @@ func Fig9(counts []int, repeats int, seed int64, workers int, reg *obs.Registry)
 	}
 	cells := runner.MapObserved(reg, workers, len(counts)*repeats, func(i int) scaleCell {
 		n, rep := counts[i/repeats], i%repeats
-		d, f := fig9Run(n, seed+int64(rep)*31+int64(n), reg)
+		label := fmt.Sprintf("fig9/n%d/rep%d", n, rep)
+		d, f := fig9Run(n, seed+int64(rep)*31+int64(n), reg, sink, label)
 		return scaleCell{down: d, fps: f}
 	})
 	res := &ScalingResult{Platform: platform.Hubs, Repeats: repeats, Private: true}
@@ -170,8 +176,8 @@ func Fig9(counts []int, repeats int, seed int64, workers int, reg *obs.Registry)
 	return res
 }
 
-func fig9Run(n int, seed int64, reg *obs.Registry) (downBps, fps float64) {
-	l := NewLabObserved(seed, reg)
+func fig9Run(n int, seed int64, reg *obs.Registry, sink *Sink, label string) (downBps, fps float64) {
+	l := NewLabTraced(seed, reg, sink.Tracer(label))
 	l.Dep.DeployPrivateHubs(platform.SiteUSEast)
 	cs := make([]*platform.Client, n)
 	for i := 0; i < n; i++ {
@@ -185,6 +191,7 @@ func fig9Run(n int, seed int64, reg *obs.Registry) (downBps, fps float64) {
 	l.Sched.At(2*time.Second, func() { arrangeCircle(cs) })
 	sniff := capture.Attach(cs[0].Host)
 	l.Sched.RunUntil(50 * time.Second)
+	_ = sink.SavePcap(label, sniff)
 	// All Hubs data rides HTTPS to the private server + RTP keepalive.
 	p := platform.Get(platform.Hubs)
 	f := l.notAsset(p)

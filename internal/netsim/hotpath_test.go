@@ -8,6 +8,7 @@ import (
 	"github.com/svrlab/svrlab/internal/geo"
 	"github.com/svrlab/svrlab/internal/packet"
 	"github.com/svrlab/svrlab/internal/simtime"
+	"github.com/svrlab/svrlab/internal/trace"
 )
 
 // TestWireFidelityAcrossFabric is the single-marshal invariant: the bytes the
@@ -134,6 +135,30 @@ func TestSendDeliverAllocs(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(200, send); avg >= 1 {
 		t.Fatalf("Send→deliver allocates %.2f objects/op, want < 1", avg)
+	}
+}
+
+// TestSendDeliverAllocsTraced is the same budget with the flight recorder
+// attached: event recording copies into preallocated ring slots, so a traced
+// round trip must stay under one allocation per packet too.
+func TestSendDeliverAllocsTraced(t *testing.T) {
+	n, h1, h2, _, _ := buildTestNet(t)
+	n.Tracer = trace.New(1 << 12)
+	h2.Handler = func(p *packet.Packet) {}
+	pkt := udpTo(h2.Addr, []byte("alloc-budget-check"))
+	send := func() {
+		pkt.IP.TTL = DefaultTTL
+		n.Send(h1, pkt)
+		n.Sched.Run()
+	}
+	for i := 0; i < 64; i++ {
+		send()
+	}
+	if avg := testing.AllocsPerRun(200, send); avg >= 1 {
+		t.Fatalf("traced Send→deliver allocates %.2f objects/op, want < 1", avg)
+	}
+	if n.Tracer.Len() == 0 {
+		t.Fatal("tracer recorded no events")
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/packet"
 	"github.com/svrlab/svrlab/internal/simtime"
+	"github.com/svrlab/svrlab/internal/trace"
 )
 
 // DefaultTTL is the initial TTL of packets sent without an explicit TTL.
@@ -161,6 +162,11 @@ type Host struct {
 // directions are observed, like Wireshark on the paper's WiFi APs.
 func (h *Host) Tap(fn TapFunc) { h.taps = append(h.taps, fn) }
 
+// Tracer exposes the owning network's flight recorder handle, so layers
+// holding only a host (disrupt schedules) can record without extra
+// plumbing. Nil when tracing is disabled.
+func (h *Host) Tracer() *trace.Tracer { return h.net.Tracer }
+
 func (h *Host) runTaps(at time.Duration, dir Dir, wire []byte) {
 	for _, t := range h.taps {
 		t(at, dir, wire)
@@ -181,6 +187,12 @@ type Network struct {
 	// Metrics receives fabric-level counters and histograms (drops by
 	// cause, per-link-class queueing delay, ICMP errors). Never nil.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records packet-lifecycle spans and protocol
+	// events into the lab's flight recorder. Nil (the default) disables
+	// tracing at zero cost: every trace method is nil-safe, mirroring the
+	// obs handle pattern, and recording never touches the scheduler or Rng,
+	// so artifacts are byte-identical with tracing on or off.
+	Tracer *trace.Tracer
 
 	sites   []*Site
 	hosts   map[packet.Addr]*Host
@@ -520,6 +532,7 @@ type fwdState struct {
 	path     []*Site
 	hop      int
 	size     int
+	span     uint64 // trace span id (0 when tracing is off)
 	wire     []byte
 
 	emitFn    func()
@@ -546,7 +559,7 @@ func (n *Network) acquireFwd() *fwdState {
 // during their call, per the TapFunc contract.
 func (n *Network) releaseFwd(fs *fwdState) {
 	fs.pkt, fs.src, fs.dst, fs.path = nil, nil, nil, nil
-	fs.hop, fs.size = 0, 0
+	fs.hop, fs.size, fs.span = 0, 0, 0
 	n.fwdFree = append(n.fwdFree, fs)
 }
 
@@ -577,12 +590,14 @@ func (n *Network) Send(h *Host, pkt *packet.Packet) bool {
 	if !ok {
 		if dst, ok = n.ResolveAnycast(pkt.IP.Dst, h.Site); !ok {
 			n.cUnroutable.Inc()
+			n.Tracer.Packet(n.Sched.Now(), trace.KindPacketDrop, 0, h.ID, "unroutable", 0)
 			return false
 		}
 	}
 	path := n.sitePath(h.Site, dst.Site)
 	if path == nil {
 		n.cUnroutable.Inc()
+		n.Tracer.Packet(n.Sched.Now(), trace.KindPacketDrop, 0, h.ID, "unroutable", 0)
 		return false
 	}
 
@@ -595,17 +610,20 @@ func (n *Network) Send(h *Host, pkt *packet.Packet) bool {
 	fs.pkt, fs.src, fs.dst, fs.path = pkt, h, dst, path
 	fs.wire = pkt.MarshalTo(fs.wire[:0])
 	fs.size = len(fs.wire)
+	fs.span = n.Tracer.NextSpan()
 
 	now := n.Sched.Now()
 	h.SentPackets++
 	h.SentBytes += fs.size
 	n.cSent.Inc()
+	n.Tracer.Packet(now, trace.KindPacketSend, fs.span, h.ID, protoName(pkt), fs.size)
 
 	// Uplink netem first (loss, shaping, delay)...
 	depart := now
 	if h.UpNetem.matches(pkt) {
-		d, drop := n.applyNetem(h.UpNetem, depart, fs.size, n.cNetemLossUp, n.cNetemQueueUp)
-		if drop {
+		d, cause := n.applyNetem(h.UpNetem, depart, fs.size, n.cNetemLossUp, n.cNetemQueueUp)
+		if cause != netemPass {
+			n.Tracer.Packet(now, trace.KindPacketDrop, fs.span, h.ID, netemDropName(cause, DirUp), fs.size)
 			n.releaseFwd(fs)
 			return true // consumed (dropped) — still "sent"
 		}
@@ -620,12 +638,48 @@ func (n *Network) Send(h *Host, pkt *packet.Packet) bool {
 	return true
 }
 
-// applyNetem applies loss, rate limiting and delay; returns new departure
-// time or drop. lossDrop/queueDrop are the direction's drop-cause counters.
-func (n *Network) applyNetem(ne *Netem, now time.Duration, size int, lossDrop, queueDrop obs.Counter) (time.Duration, bool) {
+// Netem drop causes, distinguished so the flight recorder can name them.
+const (
+	netemPass = iota
+	netemLoss
+	netemQueue
+)
+
+// netemDropName maps a drop cause and direction to a constant label, so the
+// hot path records causes without formatting or allocation.
+func netemDropName(cause int, dir Dir) string {
+	if cause == netemLoss {
+		if dir == DirUp {
+			return "netem-loss-up"
+		}
+		return "netem-loss-down"
+	}
+	if dir == DirUp {
+		return "netem-queue-up"
+	}
+	return "netem-queue-down"
+}
+
+// protoName labels a packet's protocol with a constant string.
+func protoName(p *packet.Packet) string {
+	switch p.IP.Protocol {
+	case packet.ProtoUDP:
+		return "udp"
+	case packet.ProtoTCP:
+		return "tcp"
+	case packet.ProtoICMP:
+		return "icmp"
+	}
+	return "ip"
+}
+
+// applyNetem applies loss, rate limiting and delay; returns the new departure
+// time and a drop cause (netemPass means the packet goes through).
+// lossDrop/queueDrop are the direction's drop-cause counters.
+func (n *Network) applyNetem(ne *Netem, now time.Duration, size int, lossDrop, queueDrop obs.Counter) (time.Duration, int) {
 	if ne.Loss > 0 && n.Rng.Float64() < ne.Loss {
 		lossDrop.Inc()
-		return 0, true
+		return 0, netemLoss
 	}
 	depart := now
 	if ne.RateBps > 0 {
@@ -637,13 +691,13 @@ func (n *Network) applyNetem(ne *Netem, now time.Duration, size int, lossDrop, q
 		// as tbf/netem with a finite limit would.
 		if start-now > 250*time.Millisecond {
 			queueDrop.Inc()
-			return 0, true
+			return 0, netemQueue
 		}
 		tx := time.Duration(float64(size*8) / ne.RateBps * float64(time.Second))
 		ne.busyUntil = start + tx
 		depart = ne.busyUntil
 	}
-	return depart + ne.Delay, false
+	return depart + ne.Delay, netemPass
 }
 
 // emit runs the uplink tap and access-link transmission at departure time.
@@ -654,6 +708,7 @@ func (fs *fwdState) emit() {
 	arrive, qd, drop := h.Up.transmit(n.Sched.Now(), fs.size, n.Rng)
 	if drop {
 		n.cDropAccessUp.Inc()
+		n.Tracer.Packet(n.Sched.Now(), trace.KindPacketDrop, fs.span, h.ID, "access-up", fs.size)
 		n.releaseFwd(fs)
 		return
 	}
@@ -669,11 +724,13 @@ func (fs *fwdState) forward() {
 	pkt := fs.pkt
 	// Router TTL handling.
 	if pkt.IP.TTL <= 1 {
+		n.Tracer.Packet(n.Sched.Now(), trace.KindPacketDrop, fs.span, site.Name, "ttl-exceeded", fs.size)
 		n.sendICMPError(site.Router, fs.src, pkt, packet.ICMPTimeExceeded, 0)
 		n.releaseFwd(fs)
 		return
 	}
 	pkt.IP.TTL--
+	n.Tracer.Packet(n.Sched.Now(), trace.KindPacketHop, fs.span, site.Name, "hop", fs.size)
 
 	if fs.hop == len(fs.path)-1 {
 		// Final site: cross the destination access link.
@@ -681,13 +738,15 @@ func (fs *fwdState) forward() {
 		arrive, qd, drop := fs.dst.Down.transmit(depart, fs.size, n.Rng)
 		if drop {
 			n.cDropAccessDown.Inc()
+			n.Tracer.Packet(n.Sched.Now(), trace.KindPacketDrop, fs.span, fs.dst.ID, "access-down", fs.size)
 			n.releaseFwd(fs)
 			return
 		}
 		n.hQdAccessDown.Observe(qd)
 		if fs.dst.DownNetem.matches(pkt) {
-			d, dropped := n.applyNetem(fs.dst.DownNetem, arrive, fs.size, n.cNetemLossDown, n.cNetemQueueDown)
-			if dropped {
+			d, cause := n.applyNetem(fs.dst.DownNetem, arrive, fs.size, n.cNetemLossDown, n.cNetemQueueDown)
+			if cause != netemPass {
+				n.Tracer.Packet(n.Sched.Now(), trace.KindPacketDrop, fs.span, fs.dst.ID, netemDropName(cause, DirDown), fs.size)
 				n.releaseFwd(fs)
 				return
 			}
@@ -701,6 +760,7 @@ func (fs *fwdState) forward() {
 	arrive, qd, drop := l.transmit(n.Sched.Now()+perHopCost, fs.size, n.Rng)
 	if drop {
 		n.cDropBackbone.Inc()
+		n.Tracer.Packet(n.Sched.Now(), trace.KindPacketDrop, fs.span, site.Name, "backbone", fs.size)
 		n.releaseFwd(fs)
 		return
 	}
@@ -715,6 +775,7 @@ func (fs *fwdState) forward() {
 // identical to a full re-marshal (asserted by TestWireFidelityAcrossFabric).
 func (fs *fwdState) deliver() {
 	packet.PatchTTL(fs.wire, fs.pkt.IP.TTL)
+	fs.n.Tracer.Packet(fs.n.Sched.Now(), trace.KindPacketDeliver, fs.span, fs.dst.ID, "deliver", fs.size)
 	fs.n.deliverWire(fs.dst, fs.pkt, fs.wire)
 	fs.n.releaseFwd(fs)
 }

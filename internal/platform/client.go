@@ -374,6 +374,7 @@ func (c *Client) sendAvatar(actionID uint32, triggeredLocal time.Duration) {
 	am := avatarMsg{Seq: c.seq + 1, ActionID: actionID, SentAtUs: int64(c.ReadClock() / time.Microsecond), Pose: encoded}
 	if actionID != 0 {
 		c.Dep.Trace(actionID).SentAt = c.Dep.Sched.Now()
+		c.Dep.Net.Tracer.Action(c.Dep.Sched.Now(), uint64(actionID), c.Host.ID, "send")
 		_ = triggeredLocal
 	}
 	if c.Profile.WebData {
@@ -432,6 +433,7 @@ func (c *Client) PerformAction() uint32 {
 	id := c.Dep.nextActionID()
 	tr := c.Dep.Trace(id)
 	tr.TriggeredAtLocal = c.ReadClock()
+	c.Dep.Net.Tracer.Action(c.Dep.Sched.Now(), uint64(id), c.Host.ID, "trigger")
 	L := c.Profile.Latency
 	delay := L.SenderMs + c.rng.NormFloat64()*L.SenderJitterMs*0.8
 	if delay < 1 {
@@ -501,6 +503,7 @@ func (c *Client) handleForward(f forwardMsg) {
 	if f.ActionID != 0 {
 		rt := c.Dep.Trace(f.ActionID).Receiver(c.User)
 		rt.ReceivedAt = now
+		c.Dep.Net.Tracer.Action(now, uint64(f.ActionID), c.Host.ID, "recv")
 		L := c.Profile.Latency
 		n := len(c.remotes) + 1
 		procMs := L.ReceiverMs + L.PerUserReceiverMs*float64(max(0, n-2)) + c.rng.NormFloat64()*L.ReceiverJitterMs*0.8
@@ -514,6 +517,7 @@ func (c *Client) handleForward(f forwardMsg) {
 		c.Dep.Sched.After(delay, func() {
 			rt.DisplayedAtLocal = c.ReadClock()
 			rt.Displayed = true
+			c.Dep.Net.Tracer.Action(c.Dep.Sched.Now(), uint64(f.ActionID), c.Host.ID, "display")
 			if c.OnActionDisplayed != nil {
 				c.OnActionDisplayed(f.ActionID, rt.DisplayedAtLocal)
 			}

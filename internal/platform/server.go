@@ -266,6 +266,7 @@ func (b *Backend) handleAvatarUpload(m *Member, am avatarMsg, private bool) {
 
 	if am.ActionID != 0 {
 		b.dep.Trace(am.ActionID).ServerInAt = b.dep.Sched.Now()
+		b.dep.Net.Tracer.Action(b.dep.Sched.Now(), uint64(am.ActionID), b.traceTrack(m), "server_in")
 	}
 
 	room := m.room
@@ -281,6 +282,7 @@ func (b *Backend) handleAvatarUpload(m *Member, am avatarMsg, private bool) {
 	b.dep.Sched.After(delay, func() {
 		if am.ActionID != 0 {
 			b.dep.Trace(am.ActionID).ServerOutAt = b.dep.Sched.Now()
+			b.dep.Net.Tracer.Action(b.dep.Sched.Now(), uint64(am.ActionID), b.traceTrack(m), "server_out")
 		}
 		for _, user := range room.order {
 			o := room.members[user]
@@ -319,6 +321,18 @@ func (b *Backend) handleAvatarUpload(m *Member, am avatarMsg, private bool) {
 			}
 		}
 	})
+}
+
+// traceTrack names the serving host for trace events on m's path: the UDP
+// data server when the platform uses one, else the control server.
+func (b *Backend) traceTrack(m *Member) string {
+	if m.udpServer != nil {
+		return m.udpServer.stack.Host.ID
+	}
+	if m.ctrl != nil {
+		return m.ctrl.srv.stack.Host.ID
+	}
+	return ""
 }
 
 // deliverCrossInstance sends a forward to another member, adding the small

@@ -112,6 +112,7 @@ func (s *Stream) sendSR() {
 		SSRC: s.SSRC,
 		LSR:  compactNTP(s.sched.Now()),
 	})
+	s.sock.Tracer().RTCP(s.sched.Now(), s.sock.HostID(), "sender-report", int64(s.SSRC))
 	s.sock.SendTo(s.remote, sr)
 	s.cSRSent.Inc()
 }
@@ -142,6 +143,7 @@ func (s *Stream) onPacket(b []byte) {
 				s.RTT = rtt
 				s.RTTSamples = append(s.RTTSamples, rtt)
 				s.cRTTSamples.Inc()
+				s.sock.Tracer().RTCP(s.sched.Now(), s.sock.HostID(), "rtt", int64(rtt/time.Microsecond))
 			}
 		}
 		return

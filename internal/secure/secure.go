@@ -68,6 +68,7 @@ func Client(conn *transport.Conn) *Session {
 	start := func() {
 		hello := make([]byte, clientHelloLen)
 		hello[0] = 1 // ClientHello type marker inside the record body
+		conn.Tracer().TLS(conn.Now(), conn.Span(), conn.HostID(), "client-hello")
 		conn.Send(packet.MarshalTLSRecord(packet.TLSHandshake, hello))
 	}
 	if conn.State() == transport.StateEstablished {
@@ -160,9 +161,11 @@ func (s *Session) onHandshake(body []byte) {
 		if !s.ready {
 			fin := make([]byte, clientFinishedLen)
 			fin[0] = 20
+			s.conn.Tracer().TLS(s.conn.Now(), s.conn.Span(), s.conn.HostID(), "client-finished")
 			s.conn.Send(packet.MarshalTLSRecord(packet.TLSHandshake, fin))
 			s.ready = true
 			s.cHandshakes.Inc()
+			s.conn.Tracer().TLS(s.conn.Now(), s.conn.Span(), s.conn.HostID(), "established")
 			if s.OnEstablished != nil {
 				s.OnEstablished()
 			}
@@ -174,6 +177,7 @@ func (s *Session) onHandshake(body []byte) {
 	if len(body) > 0 && body[0] == 1 { // ClientHello
 		reply := make([]byte, serverHelloLen)
 		reply[0] = 2
+		s.conn.Tracer().TLS(s.conn.Now(), s.conn.Span(), s.conn.HostID(), "server-hello")
 		s.conn.Send(packet.MarshalTLSRecord(packet.TLSHandshake, reply))
 		return
 	}
@@ -181,6 +185,7 @@ func (s *Session) onHandshake(body []byte) {
 		if !s.ready {
 			s.ready = true
 			s.cHandshakes.Inc()
+			s.conn.Tracer().TLS(s.conn.Now(), s.conn.Span(), s.conn.HostID(), "established")
 			if s.OnEstablished != nil {
 				s.OnEstablished()
 			}

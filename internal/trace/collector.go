@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Collector aggregates the tracers of a multi-cell experiment, one per
+// sweep cell. It mirrors obs.Registry: sweep runners request a cell tracer
+// under a deterministic label before the cell runs, cells record into their
+// private tracer without any cross-cell synchronization, and exports walk
+// the cells sorted by label — so collector output is byte-identical at any
+// worker count.
+//
+// A nil *Collector is a valid disabled collector: Cell returns a nil
+// *Tracer and exports write nothing.
+type Collector struct {
+	mu       sync.Mutex
+	cells    map[string]*Tracer
+	Capacity int // per-cell ring capacity (0 = DefaultCapacity)
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector { return &Collector{cells: make(map[string]*Tracer)} }
+
+// Cell returns the tracer for the given cell label, creating it on first
+// use. Labels must be unique per cell: requesting an existing label returns
+// the same tracer.
+func (c *Collector) Cell(label string) *Tracer {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cells == nil {
+		c.cells = make(map[string]*Tracer)
+	}
+	if t, ok := c.cells[label]; ok {
+		return t
+	}
+	t := New(c.Capacity)
+	c.cells[label] = t
+	return t
+}
+
+// Labels returns all cell labels sorted.
+func (c *Collector) Labels() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.cells))
+	for l := range c.cells {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// cellView is an exported snapshot of one cell, label-sorted.
+type cellView struct {
+	Label   string
+	Events  []Event
+	Dropped uint64
+}
+
+func (c *Collector) snapshot() []cellView {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cellView, 0, len(c.cells))
+	for l, t := range c.cells {
+		out = append(out, cellView{Label: l, Events: t.Events(), Dropped: t.Dropped()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// Export writes the collected traces in the given format: "chrome"
+// (trace-event JSON, loadable in Perfetto) or "text" (human timeline).
+func (c *Collector) Export(w io.Writer, format string) error {
+	switch format {
+	case "chrome", "":
+		return c.WriteChrome(w)
+	case "text":
+		return c.WriteText(w)
+	}
+	return fmt.Errorf("trace: unknown format %q (want chrome or text)", format)
+}

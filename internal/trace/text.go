@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteText exports all cells as a human-readable timeline, one line per
+// event, ordered by virtual time (stable on ties) within each cell.
+func (c *Collector) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, cell := range c.snapshot() {
+		fmt.Fprintf(bw, "== cell %s (%d events, %d dropped) ==\n",
+			cell.Label, len(cell.Events), cell.Dropped)
+		evs := make([]Event, len(cell.Events))
+		copy(evs, cell.Events)
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+		for _, ev := range evs {
+			writeTextEvent(bw, ev)
+		}
+		if sum, n := SummarizeActions(cell.Events); n > 0 {
+			fmt.Fprintf(bw, "-- actions: %d complete; mean e2e %.1fms = sender %.1f + network %.1f + server %.1f + receiver %.1f\n",
+				n, sum.E2EMs, sum.SenderMs, sum.NetworkMs, sum.ServerMs, sum.ReceiverMs)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeTextEvent(bw *bufio.Writer, ev Event) {
+	fmt.Fprintf(bw, "%14s %-11s", fmtAt(ev.At), ev.Kind)
+	if ev.Track != "" {
+		fmt.Fprintf(bw, " %-22s", ev.Track)
+	} else {
+		fmt.Fprintf(bw, " %-22s", "-")
+	}
+	if ev.Name != "" {
+		fmt.Fprintf(bw, " %s", ev.Name)
+	}
+	if ev.Span != 0 {
+		fmt.Fprintf(bw, " span=%d", ev.Span)
+	}
+	if ev.Arg != 0 {
+		fmt.Fprintf(bw, " arg=%d", ev.Arg)
+	}
+	if ev.Arg2 != 0 {
+		fmt.Fprintf(bw, " arg2=%d", ev.Arg2)
+	}
+	bw.WriteByte('\n')
+}
+
+func fmtAt(at time.Duration) string {
+	return fmt.Sprintf("%.6fs", float64(at)/float64(time.Second))
+}

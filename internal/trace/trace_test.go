@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsZeroCostDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if got := tr.NextSpan(); got != 0 {
+		t.Fatalf("nil NextSpan = %d, want 0", got)
+	}
+	// Every recording method must be a safe no-op on nil.
+	tr.Record(Event{})
+	tr.Packet(0, KindPacketSend, 1, "h", "udp", 10)
+	tr.TCPState(0, 1, "h", "established")
+	tr.TCPCwnd(0, 1, "h", 1000)
+	tr.TCPRetx(0, 1, "h", "rto-backoff", 1, 2)
+	tr.TLS(0, 1, "h", "client-hello")
+	tr.RTCP(0, "h", "rtt", 5)
+	tr.Netem(0, "h", "downlink:1.0", 1e6, 0)
+	tr.Phase(0, "join")
+	tr.Action(0, 1, "h", "trigger")
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer leaked state")
+	}
+}
+
+func TestSpanIDsAreSequential(t *testing.T) {
+	tr := New(8)
+	for want := uint64(1); want <= 5; want++ {
+		if got := tr.NextSpan(); got != want {
+			t.Fatalf("NextSpan = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestRingDropOldest(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 7; i++ {
+		tr.Record(Event{At: time.Duration(i), Name: "e"})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	// Oldest-first, and the three oldest (At 0,1,2) were evicted.
+	for i, ev := range evs {
+		if want := time.Duration(i + 3); ev.At != want {
+			t.Fatalf("event %d At = %v, want %v", i, ev.At, want)
+		}
+	}
+}
+
+func TestRecordDoesNotAllocate(t *testing.T) {
+	tr := New(1 << 10)
+	ev := Event{At: time.Second, Kind: KindPacketSend, Span: 1, Track: "u1", Name: "udp", Arg: 100}
+	if avg := testing.AllocsPerRun(1000, func() { tr.Record(ev) }); avg != 0 {
+		t.Fatalf("Record allocates %.2f objects/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		tr.Packet(time.Second, KindPacketHop, 2, "nyc", "hop", 100)
+	}); avg != 0 {
+		t.Fatalf("Packet allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+func TestCollectorCells(t *testing.T) {
+	var nilC *Collector
+	if nilC.Cell("x") != nil {
+		t.Fatal("nil collector returned a tracer")
+	}
+	c := NewCollector()
+	a := c.Cell("sweep/b")
+	if a == nil {
+		t.Fatal("Cell returned nil on a live collector")
+	}
+	if c.Cell("sweep/b") != a {
+		t.Fatal("same label returned a different tracer")
+	}
+	c.Cell("sweep/a")
+	labels := c.Labels()
+	if len(labels) != 2 || labels[0] != "sweep/a" || labels[1] != "sweep/b" {
+		t.Fatalf("labels = %v, want sorted [sweep/a sweep/b]", labels)
+	}
+	var buf bytes.Buffer
+	if err := c.Export(&buf, "nope"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+// populate records a tiny but representative event mix into a cell.
+func populate(tr *Tracer) {
+	tr.Phase(0, "launch")
+	s := tr.NextSpan()
+	tr.Packet(10*time.Millisecond, KindPacketSend, s, "u1", "udp", 120)
+	tr.Packet(11*time.Millisecond, KindPacketHop, s, "nyc", "hop", 120)
+	tr.Packet(12*time.Millisecond, KindPacketDeliver, s, "srv", "deliver", 120)
+	d := tr.NextSpan()
+	tr.Packet(13*time.Millisecond, KindPacketSend, d, "u1", "udp", 80)
+	tr.Packet(14*time.Millisecond, KindPacketDrop, d, "u1", "netem-loss-up", 80)
+	tr.TCPState(monoMs(15), 3, "u1", "syn-sent")
+	tr.TCPCwnd(monoMs(16), 3, "u1", 2920)
+	tr.Netem(monoMs(17), "u1", "downlink:1.0", 1_000_000, 0)
+}
+
+func monoMs(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestChromeExportIsValidJSONAndDeterministic(t *testing.T) {
+	c := NewCollector()
+	populate(c.Cell("cell/one"))
+	populate(c.Cell("cell/two"))
+	var a, b bytes.Buffer
+	if err := c.Export(&a, "chrome"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Export(&b, "chrome"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("chrome export not byte-stable across calls")
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string          `json:"ph"`
+			Name string          `json:"name"`
+			Pid  *int            `json:"pid"`
+			TS   json.RawMessage `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	var begins, ends, metas int
+	for _, ev := range doc.TraceEvents {
+		if ev.Pid == nil {
+			t.Fatalf("event %q missing pid", ev.Name)
+		}
+		switch ev.Ph {
+		case "b":
+			begins++
+		case "e":
+			ends++
+		case "M":
+			metas++
+		}
+	}
+	// Each cell: one delivered span and one dropped span (drops also close).
+	if begins != 4 || ends != 4 {
+		t.Fatalf("begin/end events = %d/%d, want 4/4", begins, ends)
+	}
+	if metas == 0 {
+		t.Fatal("no process/thread metadata events")
+	}
+}
+
+func TestTextExport(t *testing.T) {
+	c := NewCollector()
+	populate(c.Cell("cell/one"))
+	var buf bytes.Buffer
+	if err := c.Export(&buf, "text"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== cell cell/one", "pkt-send", "netem-loss-up", "syn-sent", "downlink:1.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeActions(t *testing.T) {
+	tr := New(64)
+	// One complete action span with known algebra.
+	tr.Action(monoMs(10), 7, "u1", "trigger")
+	tr.Action(monoMs(12), 7, "u1", "send")
+	tr.Action(monoMs(20), 7, "srv", "server_in")
+	tr.Action(monoMs(23), 7, "srv", "server_out")
+	tr.Action(monoMs(31), 7, "u2", "recv")
+	tr.Action(monoMs(40), 7, "u2", "display")
+	// An incomplete span (no display) must be skipped.
+	tr.Action(monoMs(50), 8, "u1", "trigger")
+	tr.Action(monoMs(51), 8, "u1", "send")
+
+	samples := AnalyzeActions(tr.Events())
+	if len(samples) != 1 {
+		t.Fatalf("samples = %d, want 1", len(samples))
+	}
+	s := samples[0]
+	if s.Span != 7 {
+		t.Fatalf("span = %d", s.Span)
+	}
+	check := func(name string, got, want float64) {
+		if got != want {
+			t.Fatalf("%s = %v ms, want %v", name, got, want)
+		}
+	}
+	check("e2e", s.E2EMs, 30)
+	check("sender", s.SenderMs, 2)
+	check("server", s.ServerMs, 3)
+	check("receiver", s.ReceiverMs, 9)
+	check("network", s.NetworkMs, 16) // (20-12) + (31-23)
+	if s.SenderMs+s.NetworkMs+s.ServerMs+s.ReceiverMs != s.E2EMs {
+		t.Fatal("segments do not sum to e2e")
+	}
+
+	sum, n := SummarizeActions(tr.Events())
+	if n != 1 || sum.E2EMs != 30 {
+		t.Fatalf("summary = %+v over %d samples", sum, n)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"github.com/svrlab/svrlab/internal/netsim"
 	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/packet"
+	"github.com/svrlab/svrlab/internal/trace"
 )
 
 // Stack binds to a host and demultiplexes inbound packets to sockets. It
@@ -133,6 +134,12 @@ type UDPSocket struct {
 // Metrics exposes the per-lab registry of the owning network, so layers
 // above the socket (rtpx) can record without extra plumbing.
 func (u *UDPSocket) Metrics() *obs.Registry { return u.stack.Net.Metrics }
+
+// Tracer exposes the lab's flight recorder handle (nil when disabled).
+func (u *UDPSocket) Tracer() *trace.Tracer { return u.stack.Net.Tracer }
+
+// HostID names the trace track for events recorded against this socket.
+func (u *UDPSocket) HostID() string { return u.stack.Host.ID }
 
 // BindUDP binds a UDP socket. Port 0 picks an ephemeral port.
 func (s *Stack) BindUDP(port uint16) (*UDPSocket, error) {

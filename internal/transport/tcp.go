@@ -5,6 +5,7 @@ import (
 
 	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/packet"
+	"github.com/svrlab/svrlab/internal/trace"
 )
 
 // MSS is the maximum TCP segment payload.
@@ -117,11 +118,26 @@ type Conn struct {
 	Retransmits int
 	DataSent    int
 	DataRecv    int
+
+	// span groups this connection's trace events; lastCwndTr dedups cwnd
+	// trace points so the recorder only sees actual window changes.
+	span       uint64
+	lastCwndTr int64
 }
 
 // Metrics exposes the per-lab registry of the owning network, so layers
 // above the connection (secure, rtpx) can record without extra plumbing.
 func (c *Conn) Metrics() *obs.Registry { return c.stack.Net.Metrics }
+
+// Tracer exposes the lab's flight recorder handle (nil when disabled), so
+// the secure layer can stamp handshake phases onto this connection's span.
+func (c *Conn) Tracer() *trace.Tracer { return c.stack.Net.Tracer }
+
+// HostID names the trace track this connection's events belong to.
+func (c *Conn) HostID() string { return c.stack.Host.ID }
+
+// Span returns the connection's trace span id (0 when tracing is off).
+func (c *Conn) Span() uint64 { return c.span }
 
 // countRetransmit is the single accounting point for retransmitted
 // segments, whichever path (RTO go-back-N, handshake retry, fast
@@ -131,8 +147,17 @@ func (c *Conn) countRetransmit() {
 	c.stack.cRetransmits.Inc()
 }
 
-// noteCwnd records the congestion-window high-water mark.
-func (c *Conn) noteCwnd() { c.stack.gCwndMax.Set(c.cwnd) }
+// noteCwnd records the congestion-window high-water mark and, when tracing,
+// a counter-track point — deduped so only actual window changes are logged.
+func (c *Conn) noteCwnd() {
+	c.stack.gCwndMax.Set(c.cwnd)
+	if tr := c.stack.Net.Tracer; tr != nil {
+		if v := int64(c.cwnd); v != c.lastCwndTr {
+			c.lastCwndTr = v
+			tr.TCPCwnd(c.now(), c.span, c.stack.Host.ID, v)
+		}
+	}
+}
 
 // State returns the connection state.
 func (c *Conn) State() ConnState { return c.state }
@@ -161,6 +186,8 @@ func (s *Stack) DialTCP(dst packet.Endpoint) *Conn {
 	c.sndUna, c.sndNxt = c.iss, c.iss
 	s.conns[connKey{c.Local.Port, dst}] = c
 	s.cConnsDialed.Inc()
+	c.span = s.Net.Tracer.NextSpan()
+	s.Net.Tracer.TCPState(s.Net.Sched.Now(), c.span, s.Host.ID, "syn-sent")
 	c.sendSeg(&packet.TCP{Flags: packet.FlagSYN, Seq: c.iss}, nil)
 	c.sndNxt++ // SYN consumes a sequence number
 	c.armRTO()
@@ -195,6 +222,8 @@ func (s *Stack) handleTCP(p *packet.Packet) {
 		c.sndUna, c.sndNxt = c.iss, c.iss
 		s.conns[key] = c
 		s.cConnsAccepted.Inc()
+		c.span = s.Net.Tracer.NextSpan()
+		s.Net.Tracer.TCPState(s.Net.Sched.Now(), c.span, s.Host.ID, "syn-received")
 		c.sendSeg(&packet.TCP{Flags: packet.FlagSYN | packet.FlagACK, Seq: c.iss, Ack: c.rcvNxt}, nil)
 		c.sndNxt++
 		c.armRTO()
@@ -267,6 +296,10 @@ func (c *Conn) pump() {
 
 func (c *Conn) now() time.Duration { return c.stack.Net.Sched.Now() }
 
+// Now exposes the lab's virtual clock, so layers above the connection
+// (secure) can timestamp trace events without scheduler plumbing.
+func (c *Conn) Now() time.Duration { return c.now() }
+
 func (c *Conn) armRTO() {
 	if c.Unacked() == 0 && c.state == StateEstablished {
 		c.rtoDeadline = 0
@@ -318,6 +351,8 @@ func (c *Conn) onRTO() {
 	}
 	// Collapse the window and back off.
 	c.stack.cRTOBackoffs.Inc()
+	c.stack.Net.Tracer.TCPRetx(c.now(), c.span, c.stack.Host.ID, "rto-backoff",
+		int64(c.retries), int64(c.rto/time.Microsecond))
 	c.ssthresh = maxf(float64(c.Unacked())/2, 2*MSS)
 	c.cwnd = MSS
 	c.inRecovery = false
@@ -366,6 +401,7 @@ func (c *Conn) close(reason string) {
 	}
 	c.state = StateClosed
 	c.rtoDeadline = 0
+	c.stack.Net.Tracer.TCPState(c.now(), c.span, c.stack.Host.ID, "closed")
 	delete(c.stack.conns, connKey{c.Local.Port, c.Remote})
 	if c.OnClose != nil {
 		c.OnClose(reason)
@@ -391,6 +427,7 @@ func (c *Conn) receive(p *packet.Packet) {
 			c.rcvNxt = t.Seq + 1
 			c.sndUna = t.Ack
 			c.state = StateEstablished
+			c.stack.Net.Tracer.TCPState(c.now(), c.span, c.stack.Host.ID, "established")
 			c.retries = 0
 			c.rto = initialRTO
 			c.sendSeg(&packet.TCP{Flags: packet.FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt}, nil)
@@ -404,6 +441,7 @@ func (c *Conn) receive(p *packet.Packet) {
 	case StateSynReceived:
 		if t.HasFlag(packet.FlagACK) && t.Ack == c.sndNxt {
 			c.state = StateEstablished
+			c.stack.Net.Tracer.TCPState(c.now(), c.span, c.stack.Host.ID, "established")
 			c.retries = 0
 			c.rto = initialRTO
 			c.armRTO()
@@ -492,6 +530,8 @@ func (c *Conn) receive(p *packet.Packet) {
 			if c.dupAcks == 3 && !c.inRecovery {
 				// Fast retransmit + NewReno fast recovery.
 				c.stack.cFastRetransmits.Inc()
+				c.stack.Net.Tracer.TCPRetx(c.now(), c.span, c.stack.Host.ID, "fast-retransmit",
+					int64(c.Unacked()), 0)
 				c.ssthresh = maxf(float64(c.Unacked())/2, 2*MSS)
 				c.cwnd = c.ssthresh + 3*MSS
 				c.inRecovery = true

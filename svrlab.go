@@ -23,6 +23,7 @@ import (
 	"github.com/svrlab/svrlab/internal/experiment"
 	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/platform"
+	"github.com/svrlab/svrlab/internal/trace"
 )
 
 // Platform identifies one of the five modeled social VR platforms.
@@ -67,6 +68,17 @@ type MetricsSnapshot = obs.Snapshot
 // NewMetricsRegistry creates an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
+// TraceCollector gathers per-cell flight-recorder traces: packet lifecycle
+// spans, TCP/TLS state transitions, RTCP reports, netem schedule actions,
+// and experiment phase markers, all stamped with virtual time. Export with
+// Export(w, "chrome") (load the JSON in Perfetto / chrome://tracing) or
+// Export(w, "text"). Cell labels derive from the sweep structure, never
+// the worker, so exports are byte-identical at any Workers setting.
+type TraceCollector = trace.Collector
+
+// NewTraceCollector creates an empty trace collector.
+func NewTraceCollector() *TraceCollector { return trace.NewCollector() }
+
 // Client is a platform application instance bound to a simulated headset.
 type Client = platform.Client
 
@@ -96,6 +108,22 @@ type Options struct {
 	// the stable part of a snapshot (Snapshot().Stable()) is identical at
 	// any worker count. Nil means each lab keeps a private registry.
 	Metrics *MetricsRegistry
+	// Trace, when non-nil, records a flight-recorder trace for every
+	// simulation cell of experiments that support tracing. Nil keeps the
+	// per-packet hot path allocation- and branch-free.
+	Trace *TraceCollector
+	// PcapDir, when non-empty, saves each traced cell's U1 capture tap as
+	// a libpcap file under this directory (experiments with capture taps).
+	PcapDir string
+}
+
+// sink folds the trace/pcap options into the experiment-layer sink; nil
+// when neither is requested, which disables all artifact collection.
+func (o Options) sink() *experiment.Sink {
+	if o.Trace == nil && o.PcapDir == "" {
+		return nil
+	}
+	return &experiment.Sink{Traces: o.Trace, PcapDir: o.PcapDir}
 }
 
 // Info describes a runnable experiment.
@@ -125,7 +153,7 @@ var registry = []runner{
 		return experiment.Table2(o.Seed, o.Workers, o.Metrics)
 	}},
 	{Info{"fig2", "Figure 2", "Control vs data channel timeline"}, func(o Options) Result {
-		return experiment.Fig2(pick(o.Platform, VRChat), o.Seed, o.Metrics)
+		return experiment.Fig2(pick(o.Platform, VRChat), o.Seed, o.Metrics, o.sink())
 	}},
 	{Info{"table3", "Table 3", "Two-user throughput and avatar share"}, func(o Options) Result {
 		return experiment.Table3(o.Seed, o.Repeats, o.Workers, o.Metrics)
@@ -147,28 +175,28 @@ var registry = []runner{
 		if len(counts) == 0 {
 			counts = experiment.PaperUserCounts
 		}
-		return experiment.Scaling(pick(o.Platform, VRChat), counts, o.Repeats, o.Seed, o.Workers, o.Metrics)
+		return experiment.Scaling(pick(o.Platform, VRChat), counts, o.Repeats, o.Seed, o.Workers, o.Metrics, o.sink())
 	}},
 	{Info{"fig9", "Figure 9", "Large-scale private-Hubs event (≤28 users)"}, func(o Options) Result {
-		return experiment.Fig9(o.Counts, o.Repeats, o.Seed, o.Workers, o.Metrics)
+		return experiment.Fig9(o.Counts, o.Repeats, o.Seed, o.Workers, o.Metrics, o.sink())
 	}},
 	{Info{"viewport", "§6.1", "AltspaceVR viewport-width detection"}, func(o Options) Result {
 		return experiment.Viewport(pick(o.Platform, AltspaceVR), o.Seed, o.Metrics)
 	}},
 	{Info{"table4", "Table 4", "End-to-end latency breakdown (incl. private Hubs)"}, func(o Options) Result {
-		return experiment.Table4(o.Seed, o.Repeats, o.Workers, o.Metrics)
+		return experiment.Table4(o.Seed, o.Repeats, o.Workers, o.Metrics, o.sink())
 	}},
 	{Info{"fig11", "Figure 11", "Latency scalability (2-7 users)"}, func(o Options) Result {
-		return experiment.Fig11(pick(o.Platform, RecRoom), o.Repeats, o.Seed, o.Workers, o.Metrics)
+		return experiment.Fig11(pick(o.Platform, RecRoom), o.Repeats, o.Seed, o.Workers, o.Metrics, o.sink())
 	}},
 	{Info{"fig12", "Figure 12", "Worlds downlink disruption during Arena Clash"}, func(o Options) Result {
-		return experiment.Fig12(o.Seed, o.Metrics)
+		return experiment.Fig12(o.Seed, o.Metrics, o.sink())
 	}},
 	{Info{"fig13", "Figure 13 (top)", "Worlds uplink bandwidth disruption"}, func(o Options) Result {
-		return experiment.Fig13(experiment.Fig13Bandwidth, o.Seed, o.Metrics)
+		return experiment.Fig13(experiment.Fig13Bandwidth, o.Seed, o.Metrics, o.sink())
 	}},
 	{Info{"fig13tcp", "Figure 13 (bottom)", "TCP-only delays and blackhole vs UDP"}, func(o Options) Result {
-		return experiment.Fig13(experiment.Fig13TCPOnly, o.Seed, o.Metrics)
+		return experiment.Fig13(experiment.Fig13TCPOnly, o.Seed, o.Metrics, o.sink())
 	}},
 	{Info{"disrupt-lat", "§8.2", "Latency and loss tolerance in shooting games"}, func(o Options) Result {
 		return experiment.DisruptLatencyLoss(o.Seed, o.Metrics)
