@@ -1,7 +1,7 @@
 # Tier-1 gate: everything must build, vet clean, and pass the full test
 # suite with the race detector on (the parallel experiment runner makes the
 # whole suite a concurrency test).
-.PHONY: check build vet test race bench bench-hotpath bench-save
+.PHONY: check build vet test race bench bench-hotpath bench-save audit
 
 check: build vet race
 
@@ -16,6 +16,13 @@ test:
 
 race:
 	go test -race -timeout 45m ./...
+
+# Conservation audit over every artifact: the end-of-run auditor (which
+# always runs and panics on violation) plus its coverage summary per
+# experiment. A clean pass proves packet conservation, stream continuity,
+# trace agreement, and capture bounds across the whole reproduction.
+audit:
+	go run ./cmd/svrlab all -seed 42 -repeats 1 -audit
 
 # The full paper reproduction: one benchmark per table/figure.
 bench:

@@ -219,3 +219,17 @@ func BenchmarkDecimationAblation(b *testing.B) {
 		b.ReportMetric(last.SavingFraction*100, "saving-pct")
 	}
 }
+
+// BenchmarkResilience regenerates the server-crash recovery artifact.
+func BenchmarkResilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := run(b, "resilience", svrlab.Options{Seed: benchSeed, Repeats: 1, Workers: benchWorkers}).(*experiment.ResilienceResult)
+		var worst float64
+		for _, row := range res.Rows {
+			if row.Freeze.Mean > worst {
+				worst = row.Freeze.Mean
+			}
+		}
+		b.ReportMetric(worst, "worst-freeze-s")
+	}
+}

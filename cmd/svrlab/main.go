@@ -25,6 +25,10 @@
 //	-pcap DIR      save each traced cell's U1 capture tap as DIR/<cell>.pcap
 //	-cpuprofile F  write a pprof CPU profile of the run to F
 //	-memprofile F  write a pprof heap profile (after the run) to F
+//	-chaos F       inject the JSON fault schedule in F (host crashes, link
+//	               cuts, site partitions) into chaos-aware experiments
+//	-audit         print the conservation-audit coverage summary (the
+//	               auditor itself always runs and fails loudly on violation)
 package main
 
 import (
@@ -59,6 +63,8 @@ func main() {
 	pcapDir := fs.String("pcap", "", "save per-cell capture taps as pcap files in this directory")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	chaosFile := fs.String("chaos", "", "JSON fault schedule injected into chaos-aware experiments")
+	auditFlag := fs.Bool("audit", false, "print the conservation-audit coverage summary after each artifact")
 
 	switch cmd {
 	case "list":
@@ -75,9 +81,11 @@ func main() {
 			os.Exit(2)
 		}
 		opts := buildOpts(*seed, *repeats, *platformName, *users, *workers)
-		if *metrics {
+		if *metrics || *auditFlag {
 			opts.Metrics = svrlab.NewMetricsRegistry()
 		}
+		opts.Audit = *auditFlag
+		loadChaos(&opts, *chaosFile)
 		setupSink(&opts, *traceOut, *pcapDir)
 		stopProfiles := startProfiles(*cpuProfile, *memProfile)
 		res, err := svrlab.Run(id, opts)
@@ -87,13 +95,18 @@ func main() {
 			os.Exit(1)
 		}
 		emit(res, *format)
-		emitMetrics(opts.Metrics)
+		if *metrics {
+			emitMetrics(opts.Metrics)
+		}
+		emitAudit(opts)
 		exportTrace(opts.Trace, *traceOut, *traceFormat)
 	case "all":
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
 		}
 		opts := buildOpts(*seed, *repeats, *platformName, *users, *workers)
+		opts.Audit = *auditFlag
+		loadChaos(&opts, *chaosFile)
 		// One collector across all experiments: cell labels are prefixed by
 		// experiment id, so the combined trace stays unambiguous.
 		setupSink(&opts, *traceOut, *pcapDir)
@@ -101,7 +114,7 @@ func main() {
 		for _, info := range svrlab.Experiments() {
 			fmt.Printf("==== %s (%s) ====\n", info.ID, info.Artifact)
 			// A fresh registry per experiment keeps the tables comparable.
-			if *metrics {
+			if *metrics || *auditFlag {
 				opts.Metrics = svrlab.NewMetricsRegistry()
 			}
 			res, err := svrlab.Run(info.ID, opts)
@@ -111,7 +124,10 @@ func main() {
 				os.Exit(1)
 			}
 			emit(res, *format)
-			emitMetrics(opts.Metrics)
+			if *metrics {
+				emitMetrics(opts.Metrics)
+			}
+			emitAudit(opts)
 			fmt.Println()
 		}
 		stopProfiles()
@@ -210,6 +226,37 @@ func exportTrace(c *svrlab.TraceCollector, path, format string) {
 	}
 }
 
+// loadChaos parses the -chaos fault schedule file into the options.
+func loadChaos(opts *svrlab.Options, path string) {
+	if path == "" {
+		return
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	spec, err := svrlab.ParseChaosSpec(b)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-chaos %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	opts.Chaos = spec
+}
+
+// emitAudit prints the conservation-audit coverage summary when -audit was
+// given. The auditor itself always runs (and panics on violation); these
+// counters only report how much it covered.
+func emitAudit(opts svrlab.Options) {
+	if !opts.Audit || opts.Metrics == nil {
+		return
+	}
+	s := opts.Metrics.Snapshot()
+	fmt.Printf("\n-- audit -- %d labs conserved: %d links, %d conns (%d paired) checked\n",
+		s.Counter("audit.labs"), s.Counter("audit.links"),
+		s.Counter("audit.conns"), s.Counter("audit.pairs"))
+}
+
 // emitMetrics prints the sorted metrics table when -metrics was given.
 func emitMetrics(reg *svrlab.MetricsRegistry) {
 	if reg == nil {
@@ -252,6 +299,6 @@ usage:
   svrlab list
   svrlab run <experiment-id> [-seed N] [-repeats N] [-platform P] [-users a,b,c] [-workers N]
              [-format text|json] [-metrics] [-trace F] [-trace-format chrome|text] [-pcap DIR]
-             [-cpuprofile F] [-memprofile F]
+             [-cpuprofile F] [-memprofile F] [-chaos F] [-audit]
   svrlab all [flags]`)
 }

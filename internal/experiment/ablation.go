@@ -67,6 +67,7 @@ func RemoteAblation(name platform.Name, counts []int, seed int64, workers int, r
 // the client pipeline change.
 func remoteRun(p *platform.Profile, n int, seed int64, reg *obs.Registry) (downBps, framesPS, fps float64) {
 	l := NewLabObserved(seed, reg)
+	defer l.MustConserve()
 	// Edge render server near the client (the §6.3 premise: cloud/edge).
 	edge := l.Dep.AddVantage("edge-render", platform.SiteUSEast, 90)
 	edge.Up = &netsim.Link{BandwidthBps: 10e9, PropDelay: 200 * time.Microsecond, MaxQueue: 200 * time.Millisecond}
@@ -140,6 +141,7 @@ func P2PAblation(name platform.Name, counts []int, seed int64, workers int, reg 
 
 func serverUplink(name platform.Name, n int, seed int64, reg *obs.Registry) float64 {
 	l := NewLabObserved(seed^0x77, reg)
+	defer l.MustConserve()
 	p := platform.Get(name)
 	cs := l.Spawn(name, n, SpawnOpts{})
 	l.Sched.At(2*time.Second, func() { arrangeCircle(cs) })
@@ -153,6 +155,7 @@ func serverUplink(name platform.Name, n int, seed int64, reg *obs.Registry) floa
 // stream to every peer directly.
 func p2pRun(p *platform.Profile, n int, seed int64, reg *obs.Registry) (upBps, downBps float64) {
 	l := NewLabObserved(seed^0x3c, reg)
+	defer l.MustConserve()
 	hosts := make([]*netsim.Host, n)
 	stacks := make([]*transport.Stack, n)
 	socks := make([]*transport.UDPSocket, n)

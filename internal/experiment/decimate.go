@@ -53,6 +53,7 @@ func Decimate(name platform.Name, counts []int, seed int64, workers int, reg *ob
 
 func decimateRun(name platform.Name, n int, seed int64, policy *platform.DecimationPolicy, reg *obs.Registry) float64 {
 	l := NewLabObserved(seed, reg)
+	defer l.MustConserve()
 	p := platform.Get(name)
 	l.Dep.Backend(name).SetDecimation(policy)
 	cs := l.Spawn(name, n, SpawnOpts{})

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/svrlab/svrlab/internal/audit"
 	"github.com/svrlab/svrlab/internal/capture"
 	"github.com/svrlab/svrlab/internal/netsim"
 	"github.com/svrlab/svrlab/internal/obs"
@@ -76,6 +77,27 @@ func NewLabTraced(seed int64, m *obs.Registry, tr *trace.Tracer) *Lab {
 
 // Trace returns the lab's flight recorder (nil when tracing is disabled).
 func (l *Lab) Trace() *trace.Tracer { return l.Dep.Net.Tracer }
+
+// MustConserve runs the end-of-run conservation auditor (package audit)
+// over this lab's fabric and panics with the full report if any invariant
+// fails. Every experiment calls it once its cell finishes driving the
+// scheduler, so the auditor runs automatically in every experiment test.
+// The auditor only reads state the run already produced — never the
+// scheduler, RNG, or a counter the artifact renders — so artifacts stay
+// byte-identical whether or not anyone looks at the report. Coverage is
+// tallied into the registry for the CLI -audit summary.
+func (l *Lab) MustConserve() {
+	rep := audit.Run(l.Dep.Net)
+	if !rep.OK() {
+		panic("experiment: conservation audit failed (seed " +
+			fmt.Sprint(l.Seed) + ")\n" + rep.String())
+	}
+	m := l.Metrics()
+	m.Counter("audit.labs").Inc()
+	m.Counter("audit.links").Add(int64(rep.Links))
+	m.Counter("audit.conns").Add(int64(rep.Conns))
+	m.Counter("audit.pairs").Add(int64(rep.Pairs))
+}
 
 // Sink collects per-cell observability artifacts of an experiment sweep:
 // flight-recorder traces (one Tracer per cell, labeled deterministically so

@@ -32,6 +32,7 @@ type Fig12Result struct {
 func Fig12(seed int64, reg *obs.Registry, sink *Sink) *Fig12Result {
 	const label = "fig12"
 	l := NewLabTraced(seed, reg, sink.Tracer(label))
+	defer l.MustConserve()
 	name := platform.Worlds
 	cs := l.Spawn(name, 2, SpawnOpts{})
 	l.Sched.At(5*time.Second, func() {

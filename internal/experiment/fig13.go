@@ -49,6 +49,7 @@ func Fig13(mode Fig13Mode, seed int64, reg *obs.Registry, sink *Sink) *Fig13Resu
 		label = "fig13/tcponly"
 	}
 	l := NewLabTraced(seed, reg, sink.Tracer(label))
+	defer l.MustConserve()
 	cs := l.Spawn(platform.Worlds, 2, SpawnOpts{})
 	l.Sched.At(5*time.Second, func() {
 		arrangeCircle(cs)
@@ -192,6 +193,7 @@ func DisruptLatencyLoss(seed int64, reg *obs.Registry) *DisruptQoEResult {
 
 func latencyWithDelay(name platform.Name, addedMs int, seed int64, reg *obs.Registry) float64 {
 	l := NewLabObserved(seed, reg)
+	defer l.MustConserve()
 	cs := make([]*platform.Client, 2)
 	for i := range cs {
 		c := platform.NewClient(l.Dep, name, fmt.Sprintf("u%d", i+1), platform.SiteCampus, 10+i)
@@ -243,6 +245,7 @@ func deliveryUnderLoss(name platform.Name, loss float64, seed int64, reg *obs.Re
 
 func forwardsIn40s(name platform.Name, loss float64, seed int64, reg *obs.Registry) int {
 	l := NewLabObserved(seed, reg)
+	defer l.MustConserve()
 	cs := l.Spawn(name, 2, SpawnOpts{})
 	if loss > 0 {
 		l.Sched.At(3*time.Second, func() {

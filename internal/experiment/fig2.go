@@ -30,6 +30,7 @@ type Fig2Result struct {
 func Fig2(name platform.Name, seed int64, reg *obs.Registry, sink *Sink) *Fig2Result {
 	label := "fig2/" + string(name)
 	l := NewLabTraced(seed, reg, sink.Tracer(label))
+	defer l.MustConserve()
 	p := platform.Get(name)
 	const joinAt = 90 * time.Second
 	const total = 180 * time.Second

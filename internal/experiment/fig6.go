@@ -40,6 +40,7 @@ type Fig6Result struct {
 // 150, 200 s; at 250 s U1 turns around. All users join mutely.
 func Fig6(name platform.Name, variant Fig6Variant, seed int64, reg *obs.Registry) *Fig6Result {
 	l := NewLabObserved(seed, reg)
+	defer l.MustConserve()
 	p := platform.Get(name)
 	const total = 300 * time.Second
 	turnAt := 250 * time.Second

@@ -59,6 +59,7 @@ func Table4(seed int64, repeats int, workers int, reg *obs.Registry, sink *Sink)
 // touches the scheduler (traced and untraced runs stay byte-identical).
 func measureLatency(name platform.Name, n, repeats int, seed int64, private bool, reg *obs.Registry, tr *trace.Tracer) LatencyBreakdown {
 	l := NewLabTraced(seed, reg, tr)
+	defer l.MustConserve()
 	if private {
 		l.Dep.DeployPrivateHubs(platform.SiteUSEast)
 	}

@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/svrlab/svrlab/internal/chaos"
+	"github.com/svrlab/svrlab/internal/netsim"
+	"github.com/svrlab/svrlab/internal/obs"
+	"github.com/svrlab/svrlab/internal/platform"
+	"github.com/svrlab/svrlab/internal/runner"
+	"github.com/svrlab/svrlab/internal/stats"
+)
+
+// Resilience timeline: clients reach steady state, the observer's data
+// server crashes mid-session, and it returns before the run ends.
+const (
+	resSteadyAt = 20 * time.Second
+	resCrashAt  = 25 * time.Second
+	resHealAt   = 40 * time.Second
+	resEndAt    = 70 * time.Second
+)
+
+// resStale is the staleness threshold separating an avatar freeze from the
+// ordinary gap between consecutive forwards (tens of milliseconds at every
+// platform's update rate).
+const resStale = time.Second
+
+// ResilienceRow is one platform's aggregated crash-recovery behaviour.
+type ResilienceRow struct {
+	Platform platform.Name
+	Recovery stats.Summary // seconds from crash to the next received forward
+	Freeze   stats.Summary // seconds the remote avatar stood still (max gap)
+	Failover bool          // every repeat recovered while the server was down
+}
+
+// ResilienceResult is the Table-2-style artifact: how each platform's data
+// placement (anycast pool, regional unicast, single west-coast host) turns
+// the same 15-second server crash into very different user experiences.
+type ResilienceResult struct {
+	Rows []ResilienceRow
+}
+
+type resCell struct {
+	recovery, freeze float64 // seconds
+	failover         bool
+}
+
+// Resilience crashes each platform's serving data instance from t=25s to
+// t=40s and measures, at a two-user session's observer, how long avatars
+// froze and how long the session took to see fresh data again. A non-empty
+// chaos spec replaces the built-in crash with the user's fault schedule
+// (bound per cell against that lab's fabric).
+func Resilience(seed int64, repeats, workers int, reg *obs.Registry, spec *chaos.Spec) *ResilienceResult {
+	if repeats <= 0 {
+		repeats = 3
+	}
+	all := platform.All()
+	cells := runner.MapObserved(reg, workers, len(all)*repeats, func(i int) resCell {
+		p := all[i/repeats]
+		return resilienceCell(p, seed+int64(i%repeats)*101, reg, spec)
+	})
+	res := &ResilienceResult{}
+	for pi, p := range all {
+		var recs, frzs []float64
+		failover := true
+		for r := 0; r < repeats; r++ {
+			c := cells[pi*repeats+r]
+			recs = append(recs, c.recovery)
+			frzs = append(frzs, c.freeze)
+			failover = failover && c.failover
+		}
+		res.Rows = append(res.Rows, ResilienceRow{
+			Platform: p.Name,
+			Recovery: stats.Summarize(recs),
+			Freeze:   stats.Summarize(frzs),
+			Failover: failover,
+		})
+	}
+	return res
+}
+
+func resilienceCell(p *platform.Profile, seed int64, reg *obs.Registry, spec *chaos.Spec) resCell {
+	l := NewLabObserved(seed, reg)
+	defer l.MustConserve()
+	n := l.Dep.Net
+	cs := l.Spawn(p.Name, 2, SpawnOpts{})
+	observer := cs[0]
+
+	// Install the fault once the session is up: by then the observer has
+	// resolved its data endpoint, so the built-in fault can target the
+	// exact instance serving it (for anycast, the nearest pool member).
+	l.Sched.At(resSteadyAt, func() {
+		if spec != nil && !spec.Empty() {
+			sc, err := spec.Bind(n)
+			if err != nil {
+				panic("experiment: resilience chaos spec: " + err.Error())
+			}
+			sc.Run(l.Sched, resSteadyAt)
+			return
+		}
+		srv := servingHost(n, observer)
+		if srv == nil {
+			panic("experiment: resilience could not resolve the serving data instance")
+		}
+		sc := &chaos.Schedule{Net: n, Faults: []chaos.Fault{{
+			Label: "data-server",
+			Kind:  chaos.HostCrash,
+			Host:  srv,
+			Start: resCrashAt - resSteadyAt,
+			// Healed at resHealAt; unicast platforms can only recover then.
+			Duration: resHealAt - resCrashAt,
+		}}}
+		sc.Run(l.Sched, resSteadyAt)
+	})
+
+	// Sample avatar freshness at 10 Hz across the fault window. A freeze is
+	// staleness beyond resStale; recovery is when the stream resumes after
+	// the final freeze. In-flight packets delivered moments after the crash
+	// instant must not count as recovery, hence the gap-based definition.
+	var frozenMax, recoveredAt time.Duration
+	frozen := false
+	stop := l.Sched.Ticker(100*time.Millisecond, func() {
+		now := l.Sched.Now()
+		if now < resCrashAt {
+			return
+		}
+		stale := now - observer.LastRemoteUpdate()
+		if stale >= resStale {
+			frozen = true
+			if stale > frozenMax {
+				frozenMax = stale
+			}
+		} else if frozen {
+			frozen = false
+			recoveredAt = now
+		}
+	})
+	l.Sched.RunUntil(resEndAt)
+	stop()
+
+	c := resCell{freeze: frozenMax.Seconds()}
+	switch {
+	case frozen: // still stale at end of run: never recovered
+		c.recovery = (resEndAt - resCrashAt).Seconds()
+	case recoveredAt == 0: // never froze: seamless failover
+		c.failover = true
+	default:
+		c.recovery = (recoveredAt - resCrashAt).Seconds()
+		c.failover = recoveredAt < resHealAt
+	}
+	return c
+}
+
+// servingHost resolves the fabric host behind a client's data endpoint:
+// the anycast-nearest pool instance, or the unicast host itself.
+func servingHost(n *netsim.Network, c *platform.Client) *netsim.Host {
+	addr := c.DataEndpointAddr()
+	if n.IsAnycast(addr) {
+		if h, ok := n.ResolveAnycast(addr, c.Host.Site); ok {
+			return h
+		}
+		return nil
+	}
+	if h, ok := n.HostByAddr(addr); ok {
+		return h
+	}
+	return nil
+}
+
+// Render formats the Table-2-style artifact.
+func (r *ResilienceResult) Render() string {
+	t := &Table{Header: []string{"Platform", "Recovery s", "Freeze s", "Failover while down"}}
+	for _, row := range r.Rows {
+		t.Add(string(row.Platform),
+			fmt.Sprintf("%.1f ±%.1f", row.Recovery.Mean, row.Recovery.CI95),
+			fmt.Sprintf("%.1f ±%.1f", row.Freeze.Mean, row.Freeze.CI95),
+			yn(row.Failover))
+	}
+	return fmt.Sprintf("Resilience: data-server crash %.0fs-%.0fs, two-user session\n%s",
+		resCrashAt.Seconds(), resHealAt.Seconds(), t.String())
+}

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/svrlab/svrlab/internal/platform"
+)
+
+// TestResilienceFailoverByPlacement: the same 15 s crash must play out
+// according to each platform's data placement — anycast pools fail over
+// while the instance is still down; single-host and regional-unicast
+// deployments freeze until it returns.
+func TestResilienceFailoverByPlacement(t *testing.T) {
+	res := Resilience(42, 1, 0, nil, nil)
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	byName := map[platform.Name]ResilienceRow{}
+	for _, r := range res.Rows {
+		byName[r.Platform] = r
+	}
+	outage := (resHealAt - resCrashAt).Seconds()
+	for _, name := range []platform.Name{platform.RecRoom, platform.VRChat} {
+		r := byName[name]
+		if !r.Failover {
+			t.Errorf("%s: anycast pool did not fail over (recovery %.1fs)", name, r.Recovery.Mean)
+		}
+		if r.Recovery.Mean >= outage {
+			t.Errorf("%s: recovery %.1fs not faster than the %.0fs outage", name, r.Recovery.Mean, outage)
+		}
+	}
+	for _, name := range []platform.Name{platform.AltspaceVR, platform.Worlds} {
+		r := byName[name]
+		if r.Failover {
+			t.Errorf("%s: unicast deployment claims failover while its only server was down", name)
+		}
+		if r.Freeze.Mean < outage/2 {
+			t.Errorf("%s: freeze %.1fs implausibly short for a %.0fs unicast outage", name, r.Freeze.Mean, outage)
+		}
+	}
+	if r := byName[platform.Hubs]; r.Failover {
+		t.Errorf("Hubs: TCP session pinned to the crashed instance cannot fail over, got recovery %.1fs", r.Recovery.Mean)
+	}
+}
+
+// TestResilienceDeterminism: byte-identical artifacts at any worker count.
+func TestResilienceDeterminism(t *testing.T) {
+	a := Resilience(7, 2, 1, nil, nil)
+	b := Resilience(7, 2, 4, nil, nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("workers=1 vs workers=4 diverged:\n%s\nvs\n%s", a.Render(), b.Render())
+	}
+	if a.Render() != b.Render() {
+		t.Fatal("rendered artifacts differ across worker counts")
+	}
+}

@@ -91,6 +91,7 @@ func Scaling(name platform.Name, counts []int, repeats int, seed int64, workers 
 // flight-recorder trace and U1's capture tap as a pcap.
 func scalingRun(name platform.Name, n int, seed int64, reg *obs.Registry, sink *Sink, label string) (downBps, fps, cpu, gpu, mem, battDrain float64) {
 	l := NewLabTraced(seed, reg, sink.Tracer(label))
+	defer l.MustConserve()
 	l.Trace().Phase(2*time.Second, "arrange")
 	l.Trace().Phase(20*time.Second, "steady-window")
 	p := platform.Get(name)
@@ -178,6 +179,7 @@ func Fig9(counts []int, repeats int, seed int64, workers int, reg *obs.Registry,
 
 func fig9Run(n int, seed int64, reg *obs.Registry, sink *Sink, label string) (downBps, fps float64) {
 	l := NewLabTraced(seed, reg, sink.Tracer(label))
+	defer l.MustConserve()
 	l.Dep.DeployPrivateHubs(platform.SiteUSEast)
 	cs := make([]*platform.Client, n)
 	for i := 0; i < n; i++ {

@@ -164,6 +164,7 @@ func matchAccepts(m capture.Match, r *capture.Record) bool {
 
 func probePlatform(p *platform.Profile, seed int64, reg *obs.Registry) Table2Row {
 	l := NewLabObserved(seed, reg)
+	defer l.MustConserve()
 	cs := l.Spawn(p.Name, 2, SpawnOpts{})
 	sniff := capture.Attach(cs[0].Host)
 	l.Sched.RunUntil(20 * time.Second)
@@ -254,6 +255,7 @@ func probeExtraVantages(p *platform.Profile, seed int64, reg *obs.Registry) []Re
 			continue // Worlds is US/Canada-only
 		}
 		l := NewLabObserved(seed+int64(len(sn)), reg)
+		defer l.MustConserve()
 		cs := spawnAt(l, p.Name, sn)
 		sniff := capture.Attach(cs[0].Host)
 		l.Sched.RunUntil(20 * time.Second)

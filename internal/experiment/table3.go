@@ -74,6 +74,7 @@ func Table3(seed int64, repeats int, workers int, reg *obs.Registry) *Table3Resu
 // walking users.
 func twoUserRates(p *platform.Profile, seed int64, reg *obs.Registry) (up, down float64) {
 	l := NewLabObserved(seed, reg)
+	defer l.MustConserve()
 	cs := l.Spawn(p.Name, 2, SpawnOpts{Voice: true, Wander: true})
 	sniff := capture.Attach(cs[0].Host)
 	l.Sched.RunUntil(70 * time.Second)
@@ -88,6 +89,7 @@ func twoUserRates(p *platform.Profile, seed int64, reg *obs.Registry) (up, down 
 // stream.
 func avatarShare(p *platform.Profile, seed int64, reg *obs.Registry) float64 {
 	l := NewLabObserved(seed^0x717, reg)
+	defer l.MustConserve()
 	u1 := platform.NewClient(l.Dep, p.Name, "u1", platform.SiteCampus, 10)
 	u1.Muted = true
 	u1.Wander = true
@@ -141,6 +143,7 @@ type Fig3Result struct {
 // correlation on one platform (the paper shows Rec Room and Worlds).
 func Fig3(name platform.Name, seed int64, reg *obs.Registry) *Fig3Result {
 	l := NewLabObserved(seed, reg)
+	defer l.MustConserve()
 	p := platform.Get(name)
 	cs := l.Spawn(name, 2, SpawnOpts{Voice: true, Wander: true})
 	s1 := capture.Attach(cs[0].Host)

@@ -29,6 +29,7 @@ type ViewportResult struct {
 // offsets the server forwards U2's avatar.
 func Viewport(name platform.Name, seed int64, reg *obs.Registry) *ViewportResult {
 	l := NewLabObserved(seed, reg)
+	defer l.MustConserve()
 	p := platform.Get(name)
 	res := &ViewportResult{Platform: name}
 

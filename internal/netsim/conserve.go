@@ -1,0 +1,80 @@
+package netsim
+
+import "sort"
+
+// Conservation is the Network's own packet ledger, kept independently of the
+// obs counters (which may aggregate several sweep cells into one registry).
+// The invariant proved by package audit at end of run is
+//
+//	Sent + ICMPInjected == Delivered + Dropped() + InFlight
+//
+// Unroutable and HostDownTx count *refused* sends — Send returned false
+// before any send accounting — so they sit outside the identity.
+type Conservation struct {
+	Sent         int64 // packets accepted by Send (cSent)
+	Delivered    int64 // packets handed to a host (cDelivered)
+	ICMPInjected int64 // router ICMP errors delivered out-of-band
+
+	Unroutable int64 // Send refused: no route / empty anycast group
+	HostDownTx int64 // Send refused: source host crashed
+
+	DropAccessUp, DropAccessDown         int64 // access-link tail drops
+	DropBackbone                         int64 // backbone-link tail drops
+	DropNetemLossUp, DropNetemLossDown   int64 // netem random loss
+	DropNetemQueueUp, DropNetemQueueDown int64 // netem shaper tail drops
+	DropTTL                              int64 // TTL exceeded at a router
+	DropHostDown                         int64 // src/dst crashed while in flight
+	DropLinkDown                         int64 // link/partition took the path down
+
+	InFlight int64 // forwarding states live at snapshot time
+}
+
+// Dropped sums every in-fabric drop cause (refused sends excluded).
+func (c Conservation) Dropped() int64 {
+	return c.DropAccessUp + c.DropAccessDown + c.DropBackbone +
+		c.DropNetemLossUp + c.DropNetemLossDown +
+		c.DropNetemQueueUp + c.DropNetemQueueDown +
+		c.DropTTL + c.DropHostDown + c.DropLinkDown
+}
+
+// Conserved reports whether the global identity holds.
+func (c Conservation) Conserved() bool {
+	return c.Sent+c.ICMPInjected == c.Delivered+c.Dropped()+c.InFlight
+}
+
+// Conservation snapshots the network's ledger, including packets still in
+// flight inside the fabric.
+func (n *Network) Conservation() Conservation {
+	c := n.cons
+	c.InFlight = int64(n.fwdLive)
+	return c
+}
+
+// Hosts returns every host sorted by address — a deterministic iteration
+// order for auditing (the underlying map iterates randomly).
+func (n *Network) Hosts() []*Host {
+	out := make([]*Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Sites returns the sites in creation order.
+func (n *Network) Sites() []*Site { return n.sites }
+
+// Neighbors returns the site's connected peers in Connect order.
+func (s *Site) Neighbors() []*Site { return s.nbOrder }
+
+// LinkTo returns the directed backbone link from s to a neighbor, or nil.
+func (s *Site) LinkTo(nb *Site) *Link { return s.neighbors[nb] }
+
+// RegisterEndpoint records a transport layer attached to this fabric so the
+// end-of-run auditor can walk per-connection state. Stored opaquely: the
+// audit package type-asserts to interfaces it defines, keeping netsim free
+// of transport imports.
+func (n *Network) RegisterEndpoint(ep any) { n.endpoints = append(n.endpoints, ep) }
+
+// Endpoints returns registered transport layers in registration order.
+func (n *Network) Endpoints() []any { return n.endpoints }

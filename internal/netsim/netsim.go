@@ -88,6 +88,27 @@ type Link struct {
 	MaxQueue     time.Duration // max tolerated queueing delay before tail drop
 	busyUntil    time.Duration
 	lastArrive   time.Duration
+
+	// down marks a chaos-disabled link: offered packets are dropped and the
+	// route computation excludes it (see Network.SetLinkDown).
+	down bool
+
+	// Conservation ledger, audited at end of run (package audit): every
+	// packet offered to the link is either carried or dropped here, and the
+	// per-cause obs counters must agree with these independent tallies.
+	OfferedPackets, DroppedPackets int
+	OfferedBytes, CarriedBytes     int64
+}
+
+// IsDown reports whether the link is chaos-disabled.
+func (l *Link) IsDown() bool { return l.down }
+
+// noteDownDrop records a packet dropped because the link was down in the
+// link's conservation ledger (the packet never reaches transmit).
+func (l *Link) noteDownDrop(size int) {
+	l.OfferedPackets++
+	l.OfferedBytes += int64(size)
+	l.DroppedPackets++
 }
 
 // transmit computes when a packet of size bytes finishes crossing the link
@@ -97,14 +118,18 @@ type Link struct {
 // The returned qdelay is how long the packet waited for the link to free
 // up before serialization began.
 func (l *Link) transmit(now time.Duration, size int, rng *rand.Rand) (arrive, qdelay time.Duration, dropped bool) {
+	l.OfferedPackets++
+	l.OfferedBytes += int64(size)
 	start := now
 	if l.busyUntil > start {
 		start = l.busyUntil
 	}
 	qdelay = start - now
 	if l.MaxQueue > 0 && qdelay > l.MaxQueue {
+		l.DroppedPackets++
 		return 0, qdelay, true
 	}
+	l.CarriedBytes += int64(size)
 	var tx time.Duration
 	if l.BandwidthBps > 0 {
 		tx = time.Duration(float64(size*8) / l.BandwidthBps * float64(time.Second))
@@ -153,10 +178,26 @@ type Host struct {
 	taps []TapFunc
 	net  *Network
 
+	// down marks a crashed host (see Network.SetHostDown): it cannot send,
+	// packets addressed to it are dropped, and anycast resolution skips it.
+	down bool
+
 	// Stats observable by tests.
 	SentPackets, RecvPackets int
 	SentBytes, RecvBytes     int
+
+	// TappedUpBytes/TappedDownBytes total the wire bytes handed to capture
+	// taps per direction — the audit bound for check (d): captures can never
+	// report more bytes than the access links offered/carried.
+	TappedUpBytes, TappedDownBytes int64
+	// InjectedBytes totals wire bytes delivered to this host out-of-band by
+	// router ICMP errors, which bypass the Down access link; the check (d)
+	// bound is TappedDownBytes <= Down.CarriedBytes + InjectedBytes.
+	InjectedBytes int64
 }
+
+// IsDown reports whether the host is crashed.
+func (h *Host) IsDown() bool { return h.down }
 
 // Tap registers a capture callback at this host's access point; both
 // directions are observed, like Wireshark on the paper's WiFi APs.
@@ -168,6 +209,14 @@ func (h *Host) Tap(fn TapFunc) { h.taps = append(h.taps, fn) }
 func (h *Host) Tracer() *trace.Tracer { return h.net.Tracer }
 
 func (h *Host) runTaps(at time.Duration, dir Dir, wire []byte) {
+	if len(h.taps) == 0 {
+		return
+	}
+	if dir == DirUp {
+		h.TappedUpBytes += int64(len(wire))
+	} else {
+		h.TappedDownBytes += int64(len(wire))
+	}
 	for _, t := range h.taps {
 		t(at, dir, wire)
 	}
@@ -211,8 +260,22 @@ type Network struct {
 	// fwdFree pools forwarding states (and their wire buffers) so the
 	// per-packet path allocates nothing once warm.
 	fwdFree []*fwdState
+	// fwdLive counts forwarding states acquired but not yet released — the
+	// packets in flight inside the fabric, audited at end of run.
+	fwdLive int
 
 	ipid uint16
+
+	// cons is the Network-local conservation ledger. It mirrors the obs
+	// counters below but lives on the Network itself, because the obs
+	// registry may be shared across sweep cells (NewLabObserved): per-lab
+	// conservation can only be audited against per-network tallies.
+	cons Conservation
+
+	// endpoints lists transport layers attached to this fabric, in
+	// registration order, for the end-of-run auditor (package audit
+	// type-asserts them to its own interfaces; netsim stays transport-free).
+	endpoints []any
 
 	// Precomputed metric handles for the per-packet/per-hop path.
 	cSent, cDelivered, cUnroutable          obs.Counter
@@ -220,6 +283,10 @@ type Network struct {
 	cDropBackbone                           obs.Counter
 	cNetemLossUp, cNetemLossDown            obs.Counter
 	cNetemQueueUp, cNetemQueueDown          obs.Counter
+	cDropTTL                                obs.Counter
+	cDropHostDown, cDropLinkDown            obs.Counter
+	cHostDownTx                             obs.Counter
+	cICMPInjected                           obs.Counter
 	hQdAccessUp, hQdAccessDown, hQdBackbone obs.Hist
 	cICMPTimeExceeded, cICMPDestUnreach     obs.Counter
 	cICMPOther                              obs.Counter
@@ -257,6 +324,11 @@ func NewObserved(s *simtime.Scheduler, seed int64, m *obs.Registry) *Network {
 	n.cNetemLossDown = m.Counter("netsim.drop.netem.loss.down")
 	n.cNetemQueueUp = m.Counter("netsim.drop.netem.queue.up")
 	n.cNetemQueueDown = m.Counter("netsim.drop.netem.queue.down")
+	n.cDropTTL = m.Counter("netsim.drop.ttl")
+	n.cDropHostDown = m.Counter("netsim.drop.host_down")
+	n.cDropLinkDown = m.Counter("netsim.drop.link_down")
+	n.cHostDownTx = m.Counter("netsim.send.host_down")
+	n.cICMPInjected = m.Counter("netsim.packets.icmp_injected")
 	n.hQdAccessUp = m.Hist("netsim.qdelay.access_up")
 	n.hQdAccessDown = m.Hist("netsim.qdelay.access_down")
 	n.hQdBackbone = m.Hist("netsim.qdelay.backbone")
@@ -272,6 +344,60 @@ func (n *Network) invalidateRoutes() {
 	n.routes = nil
 	if len(n.anycastCache) > 0 {
 		n.anycastCache = make(map[anycastKey]*Host)
+	}
+}
+
+// SetHostDown crashes (true) or restarts (false) a host. A down host cannot
+// send, packets addressed to it are dropped with cause "host-down", and
+// anycast resolution skips its instances — traffic to a shared service
+// address fails over to the next-nearest up instance (chaos failover). The
+// host's transport state survives: the model is network-level isolation, not
+// process loss. Idempotent; invalidates the anycast cache on transitions so
+// cached resolutions never point at a dead instance.
+func (n *Network) SetHostDown(h *Host, down bool) {
+	if h.down == down {
+		return
+	}
+	h.down = down
+	// Routes between sites are unaffected, but anycast picks must be redone.
+	if len(n.anycastCache) > 0 {
+		n.anycastCache = make(map[anycastKey]*Host)
+	}
+}
+
+// SetLinkDown disables (true) or restores (false) the backbone links between
+// two connected sites, both directions. While down, the route computation
+// excludes the links and packets already in flight across them are dropped
+// with cause "link-down". Panics if the sites are not connected.
+func (n *Network) SetLinkDown(a, b *Site, down bool) {
+	la, lb := a.neighbors[b], b.neighbors[a]
+	if la == nil || lb == nil {
+		panic(fmt.Sprintf("netsim: no link between %s and %s", a.Name, b.Name))
+	}
+	if la.down == down && lb.down == down {
+		return
+	}
+	la.down = down
+	lb.down = down
+	n.invalidateRoutes()
+}
+
+// SetSitePartitioned isolates (true) or heals (false) a site by taking every
+// backbone link touching it down, both directions. Hosts at the site keep
+// their access links; they just cannot reach (or be reached from) the rest
+// of the fabric — a BGP-withdrawal-style partition.
+func (n *Network) SetSitePartitioned(s *Site, partitioned bool) {
+	changed := false
+	for _, nb := range s.nbOrder {
+		out, in := s.neighbors[nb], nb.neighbors[s]
+		if out.down != partitioned || in.down != partitioned {
+			out.down = partitioned
+			in.down = partitioned
+			changed = true
+		}
+	}
+	if changed {
+		n.invalidateRoutes()
 	}
 }
 
@@ -433,6 +559,9 @@ func (n *Network) computeRoutes(a *Site) [][]*Site {
 		cur := n.sites[it.idx]
 		for _, nb := range cur.nbOrder {
 			l := cur.neighbors[nb]
+			if l.down {
+				continue // chaos-disabled link: route around it
+			}
 			alt := it.d + l.PropDelay + perHopCost
 			if alt < dist[nb.index] {
 				dist[nb.index] = alt
@@ -508,6 +637,9 @@ func (n *Network) ResolveAnycast(addr packet.Addr, from *Site) (*Host, bool) {
 	var best *Host
 	bestD := time.Duration(1<<62 - 1)
 	for _, h := range insts {
+		if h.down {
+			continue // crashed instance: fail over to the next-nearest
+		}
 		p := n.sitePath(from, h.Site)
 		if p == nil {
 			continue
@@ -541,6 +673,7 @@ type fwdState struct {
 }
 
 func (n *Network) acquireFwd() *fwdState {
+	n.fwdLive++
 	if k := len(n.fwdFree); k > 0 {
 		fs := n.fwdFree[k-1]
 		n.fwdFree[k-1] = nil
@@ -558,6 +691,7 @@ func (n *Network) acquireFwd() *fwdState {
 // The wire buffer is kept for reuse by the next packet; taps only see it
 // during their call, per the TapFunc contract.
 func (n *Network) releaseFwd(fs *fwdState) {
+	n.fwdLive--
 	fs.pkt, fs.src, fs.dst, fs.path = nil, nil, nil, nil
 	fs.hop, fs.size, fs.span = 0, 0, 0
 	n.fwdFree = append(n.fwdFree, fs)
@@ -586,9 +720,20 @@ func (n *Network) Send(h *Host, pkt *packet.Packet) bool {
 		pkt.IP.TTL = DefaultTTL
 	}
 
+	// A crashed host cannot put packets on the wire at all; like unroutable
+	// sends this refusal happens before any send accounting, so it sits
+	// outside the conservation identity (no cSent, no in-flight state).
+	if h.down {
+		n.cons.HostDownTx++
+		n.cHostDownTx.Inc()
+		n.Tracer.Packet(n.Sched.Now(), trace.KindPacketDrop, 0, h.ID, "host-down-tx", 0)
+		return false
+	}
+
 	dst, ok := n.hosts[pkt.IP.Dst]
 	if !ok {
 		if dst, ok = n.ResolveAnycast(pkt.IP.Dst, h.Site); !ok {
+			n.cons.Unroutable++
 			n.cUnroutable.Inc()
 			n.Tracer.Packet(n.Sched.Now(), trace.KindPacketDrop, 0, h.ID, "unroutable", 0)
 			return false
@@ -596,6 +741,7 @@ func (n *Network) Send(h *Host, pkt *packet.Packet) bool {
 	}
 	path := n.sitePath(h.Site, dst.Site)
 	if path == nil {
+		n.cons.Unroutable++
 		n.cUnroutable.Inc()
 		n.Tracer.Packet(n.Sched.Now(), trace.KindPacketDrop, 0, h.ID, "unroutable", 0)
 		return false
@@ -615,6 +761,7 @@ func (n *Network) Send(h *Host, pkt *packet.Packet) bool {
 	now := n.Sched.Now()
 	h.SentPackets++
 	h.SentBytes += fs.size
+	n.cons.Sent++
 	n.cSent.Inc()
 	n.Tracer.Packet(now, trace.KindPacketSend, fs.span, h.ID, protoName(pkt), fs.size)
 
@@ -623,6 +770,11 @@ func (n *Network) Send(h *Host, pkt *packet.Packet) bool {
 	if h.UpNetem.matches(pkt) {
 		d, cause := n.applyNetem(h.UpNetem, depart, fs.size, n.cNetemLossUp, n.cNetemQueueUp)
 		if cause != netemPass {
+			if cause == netemLoss {
+				n.cons.DropNetemLossUp++
+			} else {
+				n.cons.DropNetemQueueUp++
+			}
 			n.Tracer.Packet(now, trace.KindPacketDrop, fs.span, h.ID, netemDropName(cause, DirUp), fs.size)
 			n.releaseFwd(fs)
 			return true // consumed (dropped) — still "sent"
@@ -704,9 +856,18 @@ func (n *Network) applyNetem(ne *Netem, now time.Duration, size int, lossDrop, q
 func (fs *fwdState) emit() {
 	n := fs.n
 	h := fs.src
+	// The host may have crashed between Send (netem delay) and departure.
+	if h.down {
+		n.cons.DropHostDown++
+		n.cDropHostDown.Inc()
+		n.Tracer.Packet(n.Sched.Now(), trace.KindPacketDrop, fs.span, h.ID, "host-down", fs.size)
+		n.releaseFwd(fs)
+		return
+	}
 	h.runTaps(n.Sched.Now(), DirUp, fs.wire)
 	arrive, qd, drop := h.Up.transmit(n.Sched.Now(), fs.size, n.Rng)
 	if drop {
+		n.cons.DropAccessUp++
 		n.cDropAccessUp.Inc()
 		n.Tracer.Packet(n.Sched.Now(), trace.KindPacketDrop, fs.span, h.ID, "access-up", fs.size)
 		n.releaseFwd(fs)
@@ -724,6 +885,8 @@ func (fs *fwdState) forward() {
 	pkt := fs.pkt
 	// Router TTL handling.
 	if pkt.IP.TTL <= 1 {
+		n.cons.DropTTL++
+		n.cDropTTL.Inc()
 		n.Tracer.Packet(n.Sched.Now(), trace.KindPacketDrop, fs.span, site.Name, "ttl-exceeded", fs.size)
 		n.sendICMPError(site.Router, fs.src, pkt, packet.ICMPTimeExceeded, 0)
 		n.releaseFwd(fs)
@@ -737,6 +900,7 @@ func (fs *fwdState) forward() {
 		depart := n.Sched.Now() + perHopCost
 		arrive, qd, drop := fs.dst.Down.transmit(depart, fs.size, n.Rng)
 		if drop {
+			n.cons.DropAccessDown++
 			n.cDropAccessDown.Inc()
 			n.Tracer.Packet(n.Sched.Now(), trace.KindPacketDrop, fs.span, fs.dst.ID, "access-down", fs.size)
 			n.releaseFwd(fs)
@@ -746,6 +910,11 @@ func (fs *fwdState) forward() {
 		if fs.dst.DownNetem.matches(pkt) {
 			d, cause := n.applyNetem(fs.dst.DownNetem, arrive, fs.size, n.cNetemLossDown, n.cNetemQueueDown)
 			if cause != netemPass {
+				if cause == netemLoss {
+					n.cons.DropNetemLossDown++
+				} else {
+					n.cons.DropNetemQueueDown++
+				}
 				n.Tracer.Packet(n.Sched.Now(), trace.KindPacketDrop, fs.span, fs.dst.ID, netemDropName(cause, DirDown), fs.size)
 				n.releaseFwd(fs)
 				return
@@ -757,8 +926,19 @@ func (fs *fwdState) forward() {
 	}
 	next := fs.path[fs.hop+1]
 	l := site.neighbors[next]
+	// A link taken down after this packet was routed drops it here — the
+	// in-flight casualty of a chaos link-down/partition event.
+	if l.down {
+		n.cons.DropLinkDown++
+		n.cDropLinkDown.Inc()
+		l.noteDownDrop(fs.size)
+		n.Tracer.Packet(n.Sched.Now(), trace.KindPacketDrop, fs.span, site.Name, "link-down", fs.size)
+		n.releaseFwd(fs)
+		return
+	}
 	arrive, qd, drop := l.transmit(n.Sched.Now()+perHopCost, fs.size, n.Rng)
 	if drop {
+		n.cons.DropBackbone++
 		n.cDropBackbone.Inc()
 		n.Tracer.Packet(n.Sched.Now(), trace.KindPacketDrop, fs.span, site.Name, "backbone", fs.size)
 		n.releaseFwd(fs)
@@ -774,6 +954,15 @@ func (fs *fwdState) forward() {
 // with an RFC 1624 incremental checksum update — the down-tap sees bytes
 // identical to a full re-marshal (asserted by TestWireFidelityAcrossFabric).
 func (fs *fwdState) deliver() {
+	// The destination may have crashed while the packet was in flight; a
+	// down host's NIC is gone, so the packet dies at the access link.
+	if fs.dst.down {
+		fs.n.cons.DropHostDown++
+		fs.n.cDropHostDown.Inc()
+		fs.n.Tracer.Packet(fs.n.Sched.Now(), trace.KindPacketDrop, fs.span, fs.dst.ID, "host-down", fs.size)
+		fs.n.releaseFwd(fs)
+		return
+	}
 	packet.PatchTTL(fs.wire, fs.pkt.IP.TTL)
 	fs.n.Tracer.Packet(fs.n.Sched.Now(), trace.KindPacketDeliver, fs.span, fs.dst.ID, "deliver", fs.size)
 	fs.n.deliverWire(fs.dst, fs.pkt, fs.wire)
@@ -783,6 +972,7 @@ func (fs *fwdState) deliver() {
 func (n *Network) deliverWire(dst *Host, pkt *packet.Packet, wire []byte) {
 	dst.RecvPackets++
 	dst.RecvBytes += len(wire)
+	n.cons.Delivered++
 	n.cDelivered.Inc()
 	dst.runTaps(n.Sched.Now(), DirDown, wire)
 	if dst.Handler != nil {
@@ -822,7 +1012,25 @@ func (n *Network) sendICMPError(from packet.Addr, to *Host, orig *packet.Packet,
 	}
 	back += to.Down.PropDelay
 	wire := reply.Marshal()
-	n.Sched.PostAfter(back, func() { n.deliverWire(to, reply, wire) })
+	n.Sched.PostAfter(back, func() {
+		// The sender may have crashed while the error was in flight.
+		if to.down {
+			return
+		}
+		// Injected deliveries bypass the normal Send path, so they carry
+		// their own conservation accounting: cICMPInjected balances the
+		// cDelivered increment inside deliverWire, and InjectedBytes feeds
+		// the capture-bytes audit bound (the bytes never crossed to.Down).
+		// Both trace stamps are recorded here, at delivery time, so the
+		// span count identity (#send == sent+injected) holds at teardown.
+		n.cons.ICMPInjected++
+		n.cICMPInjected.Inc()
+		to.InjectedBytes += int64(len(wire))
+		span := n.Tracer.NextSpan()
+		n.Tracer.Packet(n.Sched.Now(), trace.KindPacketSend, span, "icmp-router", "icmp", len(wire))
+		n.Tracer.Packet(n.Sched.Now(), trace.KindPacketDeliver, span, to.ID, "deliver", len(wire))
+		n.deliverWire(to, reply, wire)
+	})
 }
 
 // SendICMPFromHost lets a host's stack emit ICMP errors (e.g. port

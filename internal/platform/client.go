@@ -619,8 +619,30 @@ func (c *Client) VoiceRTT() time.Duration {
 }
 
 // DataEndpointAddr exposes the resolved data-channel server address (for
-// infrastructure experiments).
-func (c *Client) DataEndpointAddr() packet.Addr { return c.dataEP.Addr }
+// infrastructure experiments). On web platforms the data channel rides the
+// HTTPS control connection, so that connection's remote is the answer.
+func (c *Client) DataEndpointAddr() packet.Addr {
+	if c.Profile.WebData {
+		if c.ctrlConn == nil {
+			return 0
+		}
+		return c.ctrlConn.Remote.Addr
+	}
+	return c.dataEP.Addr
+}
+
+// LastRemoteUpdate returns the sim time the most recent avatar forward from
+// any remote user arrived (0 before the first). The resilience experiment
+// reads it to time avatar freezes around injected server crashes.
+func (c *Client) LastRemoteUpdate() time.Duration {
+	var last time.Duration
+	for _, r := range c.remotes {
+		if r.lastAt > last {
+			last = r.lastAt
+		}
+	}
+	return last
+}
 
 // FreshRemotes counts remote avatars with updates in the last 2.5 s.
 func (c *Client) FreshRemotes() int {

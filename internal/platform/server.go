@@ -399,6 +399,20 @@ func (s *DataServer) sendTo(ep packet.Endpoint, payload []byte) {
 	s.sock.SendTo(ep, payload)
 }
 
+// member resolves the sending client and, when its datagrams have started
+// arriving at a different instance than the one serving it (anycast
+// rerouting after the original instance crashed), adopts the session here
+// so the downlink follows the new path — the failover behaviour the
+// resilience experiment measures.
+func (s *DataServer) member(src packet.Endpoint) *Member {
+	m := s.be.byEP[src]
+	if m != nil && m.udpServer != s {
+		m.udpServer = s
+		m.udpEP = src
+	}
+	return m
+}
+
 func (s *DataServer) onDatagram(src packet.Endpoint, payload []byte) {
 	if len(payload) == 0 {
 		return
@@ -411,7 +425,7 @@ func (s *DataServer) onDatagram(src packet.Endpoint, payload []byte) {
 		}
 		s.be.join(h.Room, h.User, s, src, nil)
 	case kindAvatar:
-		m := s.be.byEP[src]
+		m := s.member(src)
 		if m == nil {
 			return
 		}
@@ -421,18 +435,18 @@ func (s *DataServer) onDatagram(src packet.Endpoint, payload []byte) {
 		}
 		s.be.handleAvatarUpload(m, am, false)
 	case kindVoice:
-		if m := s.be.byEP[src]; m != nil {
+		if m := s.member(src); m != nil {
 			s.be.handleVoiceUpload(m, payload[5:])
 		}
 	case kindTelemetry:
 		// Status telemetry: absorbed by the server (never forwarded) —
 		// the uplink/downlink asymmetry of Worlds in Table 3.
 	case kindGame:
-		if m := s.be.byEP[src]; m != nil {
+		if m := s.member(src); m != nil {
 			m.inGame = true
 		}
 	case kindLeave:
-		if m := s.be.byEP[src]; m != nil {
+		if m := s.member(src); m != nil {
 			s.be.leave(m)
 		}
 	}

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// quickCfg gives every property a fixed generator so failures reproduce.
+func quickCfg(max int) *quick.Config {
+	return &quick.Config{MaxCount: max, Rand: rand.New(rand.NewSource(1))}
+}
+
+// sanitize keeps generated floats finite and bounded so the properties test
+// the statistics, not float overflow.
+func sanitize(raw []float64) []float64 {
+	xs := make([]float64, 0, len(raw))
+	for _, v := range raw {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+			xs = append(xs, v)
+		}
+	}
+	return xs
+}
+
+// Property: Percentile is monotone non-decreasing in p, and clamps to the
+// sample min at p<=0 and the sample max at p>=100.
+func TestPropertyPercentileMonotoneInP(t *testing.T) {
+	f := func(raw []float64, ps []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return Percentile(xs, 50) == 0
+		}
+		cp := append([]float64(nil), xs...)
+		sort.Float64s(cp)
+		lo, hi := cp[0], cp[len(cp)-1]
+		if Percentile(xs, 0) != lo || Percentile(xs, -3) != lo {
+			return false
+		}
+		if Percentile(xs, 100) != hi || Percentile(xs, 140) != hi {
+			return false
+		}
+		// Walk a sorted grid of random p values: results must not decrease
+		// and must stay inside [min, max].
+		grid := make([]float64, 0, len(ps))
+		for _, p := range ps {
+			if !math.IsNaN(p) && !math.IsInf(p, 0) {
+				grid = append(grid, math.Mod(math.Abs(p), 100))
+			}
+		}
+		sort.Float64s(grid)
+		prev := lo
+		for _, p := range grid {
+			v := Percentile(xs, p)
+			if v < prev-1e-9 || v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(300)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a single-element sample yields that element at every p, with a
+// degenerate Summary (std and CI both zero, all location measures equal).
+func TestPropertySingleSampleDegenerate(t *testing.T) {
+	f := func(v float64, p float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		if Percentile([]float64{v}, p) != v {
+			return false
+		}
+		s := Summarize([]float64{v})
+		return s.N == 1 && s.Mean == v && s.Min == v && s.Max == v &&
+			s.Median == v && s.Std == 0 && s.CI95 == 0
+	}
+	if err := quick.Check(f, quickCfg(200)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: beyond the 30-entry t-table the CI95 half-width is exactly the
+// normal quantile — z = 1.96 — at any sample size and spread.
+func TestPropertyCI95BeyondTTableIsZ(t *testing.T) {
+	f := func(sizeRaw uint8, spreadRaw float64) bool {
+		n := 32 + int(sizeRaw)%200 // df = n-1 > 30, always past the table
+		spread := 1 + math.Mod(math.Abs(spreadRaw), 1e3)
+		if math.IsNaN(spread) {
+			spread = 1
+		}
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = spread * float64(i%2) // alternating: nonzero variance
+		}
+		s := Summarize(xs)
+		want := 1.96 * s.Std / math.Sqrt(float64(n))
+		return almost(s.CI95, want, 1e-9)
+	}
+	if err := quick.Check(f, quickCfg(100)); err != nil {
+		t.Fatal(err)
+	}
+	// And the table boundary itself: df=30 uses the last entry, df=31 uses z.
+	if tCrit95(30) != 2.042 || tCrit95(31) != 1.96 {
+		t.Fatalf("table boundary: t(30)=%v t(31)=%v", tCrit95(30), tCrit95(31))
+	}
+}
+
+// Property: empty input is the zero value everywhere — Summarize, Percentile
+// at any p, and LinearFit refuses to fit.
+func TestPropertyEmptyInputsAreZero(t *testing.T) {
+	f := func(p float64) bool {
+		if Percentile(nil, p) != 0 {
+			return false
+		}
+		if s := Summarize(nil); s != (Summary{}) {
+			return false
+		}
+		_, _, _, ok := LinearFit(nil, nil)
+		return !ok
+	}
+	if err := quick.Check(f, quickCfg(50)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LinearFit recovers the exact coefficients of a noise-free line
+// with r2 == 1, for random intercepts, slopes, and x grids.
+func TestPropertyLinearFitRecoversLine(t *testing.T) {
+	f := func(aRaw, bRaw float64, nRaw uint8) bool {
+		a := math.Mod(aRaw, 1e4)
+		b := math.Mod(bRaw, 1e4)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		n := 2 + int(nRaw)%20
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i)
+			ys[i] = a + b*xs[i]
+		}
+		ga, gb, r2, ok := LinearFit(xs, ys)
+		if !ok {
+			return false
+		}
+		return almost(ga, a, 1e-6) && almost(gb, b, 1e-6) && almost(r2, 1, 1e-9)
+	}
+	if err := quick.Check(f, quickCfg(200)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on arbitrary data r2 stays in [0,1], and shifting y translates
+// the intercept while preserving the slope and r2.
+func TestPropertyLinearFitR2BoundsAndShift(t *testing.T) {
+	f := func(rawY []float64, shiftRaw float64) bool {
+		ys := sanitize(rawY)
+		if len(ys) < 2 {
+			return true
+		}
+		xs := make([]float64, len(ys))
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		a, b, r2, ok := LinearFit(xs, ys)
+		if !ok || r2 < 0 || r2 > 1+1e-9 {
+			return false
+		}
+		shift := math.Mod(shiftRaw, 1e6)
+		if math.IsNaN(shift) || math.IsInf(shift, 0) {
+			shift = 1
+		}
+		shifted := make([]float64, len(ys))
+		for i, v := range ys {
+			shifted[i] = v + shift
+		}
+		sa, sb, sr2, sok := LinearFit(xs, shifted)
+		if !sok {
+			return false
+		}
+		tol := 1e-6 * (1 + math.Abs(a) + math.Abs(shift))
+		if !almost(sa, a+shift, tol) || !almost(sb, b, 1e-6*(1+math.Abs(b))) {
+			return false
+		}
+		// r2 is scale/shift free unless the shift flattened y entirely.
+		return almost(sr2, r2, 1e-6) || shifted[0] == shifted[len(shifted)-1]
+	}
+	if err := quick.Check(f, quickCfg(200)); err != nil {
+		t.Fatal(err)
+	}
+}

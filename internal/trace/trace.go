@@ -39,6 +39,7 @@ const (
 	KindRTCP                      // RTCP sender report / RTT sample
 	KindNetem                     // netem schedule action applied/cleared
 	KindAction                    // end-to-end action lifecycle stamp
+	KindChaos                     // chaos fault injected/healed
 )
 
 // String names each kind for the text exporter.
@@ -68,6 +69,8 @@ func (k Kind) String() string {
 		return "netem"
 	case KindAction:
 		return "action"
+	case KindChaos:
+		return "chaos"
 	}
 	return "unknown"
 }
@@ -222,6 +225,16 @@ func (t *Tracer) Action(at time.Duration, span uint64, track, name string) {
 		return
 	}
 	t.Record(Event{At: at, Kind: KindAction, Span: span, Track: track, Name: name})
+}
+
+// Chaos records a fault being injected ("crash", "link-cut", "partition")
+// or healed ("restart", "link-restore", "heal"). Track names the target
+// host/link/site.
+func (t *Tracer) Chaos(at time.Duration, track, name string) {
+	if t == nil {
+		return
+	}
+	t.Record(Event{At: at, Kind: KindChaos, Track: track, Name: name})
 }
 
 // Len returns the number of live events (0 when disabled).

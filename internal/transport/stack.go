@@ -37,6 +37,11 @@ type Stack struct {
 	// profiles disable this to force that fallback.
 	EchoReply bool
 
+	// closedConns accumulates audit summaries of torn-down connections, in
+	// close order, so end-of-run byte-stream checks see the whole history
+	// (conns leave the live map on close).
+	closedConns []ConnAudit
+
 	// Precomputed metric handles for per-segment/per-ACK call sites.
 	cRetransmits     obs.Counter
 	cFastRetransmits obs.Counter
@@ -44,6 +49,7 @@ type Stack struct {
 	cConnsDialed     obs.Counter
 	cConnsAccepted   obs.Counter
 	cConnsAborted    obs.Counter
+	cConnTimeouts    obs.Counter
 	gCwndMax         obs.MaxGauge
 }
 
@@ -70,8 +76,10 @@ func NewStack(n *netsim.Network, h *netsim.Host) *Stack {
 	s.cConnsDialed = m.Counter("transport.conns_dialed")
 	s.cConnsAccepted = m.Counter("transport.conns_accepted")
 	s.cConnsAborted = m.Counter("transport.conns_aborted")
+	s.cConnTimeouts = m.Counter("transport.connect_timeouts")
 	s.gCwndMax = m.MaxGauge("transport.cwnd_max_bytes")
 	h.Handler = s.handle
+	n.RegisterEndpoint(s)
 	return s
 }
 

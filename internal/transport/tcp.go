@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"sort"
 	"time"
 
 	"github.com/svrlab/svrlab/internal/obs"
@@ -23,6 +24,14 @@ const (
 	initialRTO = 1 * time.Second
 	maxRTO     = 60 * time.Second
 	maxRetries = 10
+	// maxHandshakeRetries caps SYN/SYN-ACK retransmission separately: with
+	// exponential backoff from 1 s, the full maxRetries budget means minutes
+	// of virtual time before DialTCP gives up, far too slow for failover
+	// logic to react to a dead server. Five retries (~31 s worst case)
+	// matches typical OS connect() behaviour; the close reason is the
+	// distinct "connect timeout" so callers can tell refusal from mid-stream
+	// death.
+	maxHandshakeRetries = 5
 )
 
 // ConnState is the (simplified) TCP connection state.
@@ -103,7 +112,13 @@ type Conn struct {
 
 	// Receive side.
 	rcvNxt uint32
+	irsNxt uint32 // initial rcvNxt (peer's ISS+1); rcvNxt-irsNxt = delivered bytes
 	ooo    map[uint32][]byte
+
+	// maxRelSeq is the high-water mark of sndNxt-iss — unique stream bytes
+	// (plus the SYN) ever put on the wire, immune to go-back-N rewinds. The
+	// end-of-run auditor checks the peer's delivered prefix against it.
+	maxRelSeq uint32
 
 	// Callbacks.
 	OnData        func([]byte)
@@ -190,8 +205,16 @@ func (s *Stack) DialTCP(dst packet.Endpoint) *Conn {
 	s.Net.Tracer.TCPState(s.Net.Sched.Now(), c.span, s.Host.ID, "syn-sent")
 	c.sendSeg(&packet.TCP{Flags: packet.FlagSYN, Seq: c.iss}, nil)
 	c.sndNxt++ // SYN consumes a sequence number
+	c.noteSndNxt()
 	c.armRTO()
 	return c
+}
+
+// noteSndNxt advances the unique-bytes-sent high-water mark.
+func (c *Conn) noteSndNxt() {
+	if rel := c.sndNxt - c.iss; rel > c.maxRelSeq {
+		c.maxRelSeq = rel
+	}
 }
 
 func (s *Stack) handleTCP(p *packet.Packet) {
@@ -217,6 +240,7 @@ func (s *Stack) handleTCP(p *packet.Packet) {
 			rto:      initialRTO,
 			ooo:      make(map[uint32][]byte),
 			rcvNxt:   p.TCP.Seq + 1,
+			irsNxt:   p.TCP.Seq + 1,
 		}
 		c.iss = uint32(s.Net.Rng.Int63())
 		c.sndUna, c.sndNxt = c.iss, c.iss
@@ -226,6 +250,7 @@ func (s *Stack) handleTCP(p *packet.Packet) {
 		s.Net.Tracer.TCPState(s.Net.Sched.Now(), c.span, s.Host.ID, "syn-received")
 		c.sendSeg(&packet.TCP{Flags: packet.FlagSYN | packet.FlagACK, Seq: c.iss, Ack: c.rcvNxt}, nil)
 		c.sndNxt++
+		c.noteSndNxt()
 		c.armRTO()
 		if l.OnAccept != nil {
 			l.OnAccept(c)
@@ -289,6 +314,7 @@ func (c *Conn) pump() {
 			c.rttAt = c.now()
 		}
 		c.sndNxt += uint32(n)
+		c.noteSndNxt()
 		c.DataSent += n
 		c.armRTO()
 	}
@@ -344,7 +370,18 @@ func (c *Conn) onRTO() {
 		return
 	}
 	c.retries++
-	if c.retries > maxRetries {
+	// SYN/SYN-ACK loss gets a much tighter budget than mid-stream loss: a
+	// peer that never answers the handshake is dead or unreachable, and
+	// burning the full exponential-backoff schedule (~minutes) before
+	// reporting it would stall every failover path built on DialTCP.
+	if handshake := c.state == StateSynSent || c.state == StateSynReceived; handshake {
+		if c.retries > maxHandshakeRetries {
+			c.stack.cConnsAborted.Inc()
+			c.stack.cConnTimeouts.Inc()
+			c.close("connect timeout")
+			return
+		}
+	} else if c.retries > maxRetries {
 		c.stack.cConnsAborted.Inc()
 		c.close("too many retransmissions")
 		return
@@ -399,10 +436,19 @@ func (c *Conn) close(reason string) {
 	if c.state == StateClosed {
 		return
 	}
+	// Snapshot the audit summary before the state is torn down: the conn
+	// leaves the stack's map here, and the auditor still needs its
+	// byte-stream accounting at end of run.
+	c.stack.closedConns = append(c.stack.closedConns, c.audit(reason))
 	c.state = StateClosed
 	c.rtoDeadline = 0
 	c.stack.Net.Tracer.TCPState(c.now(), c.span, c.stack.Host.ID, "closed")
 	delete(c.stack.conns, connKey{c.Local.Port, c.Remote})
+	// Release the payload memory pinned by the send window and the
+	// reassembly queue — a closed conn otherwise holds both for the rest of
+	// the sweep cell (the same pinning class as capture's Clear fix).
+	c.sendBuf = nil
+	c.ooo = nil
 	if c.OnClose != nil {
 		c.OnClose(reason)
 	}
@@ -425,6 +471,7 @@ func (c *Conn) receive(p *packet.Packet) {
 	case StateSynSent:
 		if t.HasFlag(packet.FlagSYN | packet.FlagACK) {
 			c.rcvNxt = t.Seq + 1
+			c.irsNxt = c.rcvNxt
 			c.sndUna = t.Ack
 			c.state = StateEstablished
 			c.stack.Net.Tracer.TCPState(c.now(), c.span, c.stack.Host.ID, "established")
@@ -467,6 +514,7 @@ func (c *Conn) receive(p *packet.Packet) {
 		// receiver holds; fast-forward sndNxt so the advance is accepted.
 		if seqLT(c.sndNxt, t.Ack) && t.Ack-c.sndUna <= uint32(len(c.sendBuf))+1 {
 			c.sndNxt = t.Ack
+			c.noteSndNxt()
 		}
 		if seqLT(c.sndUna, t.Ack) && seqLEQ(t.Ack, c.sndNxt) {
 			acked := t.Ack - c.sndUna
@@ -551,20 +599,46 @@ func (c *Conn) receive(p *packet.Packet) {
 	if len(p.Payload) > 0 {
 		if t.Seq == c.rcvNxt {
 			c.deliver(p.Payload)
-			// Drain contiguous out-of-order segments.
-			for {
-				seg, ok := c.ooo[c.rcvNxt]
-				if !ok {
-					break
-				}
-				delete(c.ooo, c.rcvNxt)
-				c.deliver(seg)
-			}
+			c.drainOOO()
 		} else if seqLT(c.rcvNxt, t.Seq) {
 			c.ooo[t.Seq] = append([]byte(nil), p.Payload...)
+		} else if end := t.Seq + uint32(len(p.Payload)); seqLT(c.rcvNxt, end) {
+			// Retransmission straddling rcvNxt: go-back-N re-packetizes
+			// from sndUna, so boundaries need not match the original
+			// flight. Deliver only the unseen suffix.
+			c.deliver(p.Payload[c.rcvNxt-t.Seq:])
+			c.drainOOO()
 		}
 		// ACK everything we have (also generates dup ACKs on gaps).
 		c.sendSeg(&packet.TCP{Flags: packet.FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt}, nil)
+	}
+}
+
+// drainOOO delivers every reassembly segment now reachable from rcvNxt.
+// Segments are walked in sequence order (deterministically — map iteration
+// order must never reach delivery), trimming the already-delivered prefix
+// of any segment that straddles rcvNxt and discarding fully-covered ones.
+// Without the trim, a rewound sender's re-packetized flight can advance
+// rcvNxt past a stored key, stranding the entry below rcvNxt forever —
+// a leak the end-of-run auditor flags as OOOPastRcv.
+func (c *Conn) drainOOO() {
+	if len(c.ooo) == 0 {
+		return
+	}
+	keys := make([]uint32, 0, len(c.ooo))
+	for k := range c.ooo {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return seqLT(keys[i], keys[j]) })
+	for _, seq := range keys {
+		if seqLT(c.rcvNxt, seq) {
+			break // gap: this and every later segment stay queued
+		}
+		seg := c.ooo[seq]
+		delete(c.ooo, seq)
+		if end := seq + uint32(len(seg)); seqLT(c.rcvNxt, end) {
+			c.deliver(seg[c.rcvNxt-seq:])
+		}
 	}
 }
 

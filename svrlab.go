@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/svrlab/svrlab/internal/chaos"
 	"github.com/svrlab/svrlab/internal/experiment"
 	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/platform"
@@ -115,7 +116,25 @@ type Options struct {
 	// PcapDir, when non-empty, saves each traced cell's U1 capture tap as
 	// a libpcap file under this directory (experiments with capture taps).
 	PcapDir string
+	// Chaos, when non-empty, injects a declarative fault schedule (host
+	// crashes, link cuts, site partitions) into chaos-aware experiments
+	// (currently "resilience"), replacing their built-in fault. Faults are
+	// driven entirely by the deterministic scheduler — an empty or nil
+	// spec is byte-identical to no chaos at all.
+	Chaos *ChaosSpec
+	// Audit has no effect on experiment execution: the end-of-run
+	// conservation auditor (package audit) always runs at every lab's
+	// teardown and panics on violation. The flag only asks the CLI to
+	// print the audit coverage summary after the artifact.
+	Audit bool
 }
+
+// ChaosSpec is a declarative, JSON-loadable fault schedule. Parse one from
+// bytes with ParseChaosSpec; see the -chaos CLI flag.
+type ChaosSpec = chaos.Spec
+
+// ParseChaosSpec parses and validates a JSON fault schedule.
+func ParseChaosSpec(b []byte) (*ChaosSpec, error) { return chaos.ParseSpec(b) }
 
 // sink folds the trace/pcap options into the experiment-layer sink; nil
 // when neither is requested, which disables all artifact collection.
@@ -200,6 +219,9 @@ var registry = []runner{
 	}},
 	{Info{"disrupt-lat", "§8.2", "Latency and loss tolerance in shooting games"}, func(o Options) Result {
 		return experiment.DisruptLatencyLoss(o.Seed, o.Metrics)
+	}},
+	{Info{"resilience", "§4 infra + Table 2", "Server-crash recovery: failover, avatar freeze"}, func(o Options) Result {
+		return experiment.Resilience(o.Seed, o.Repeats, o.Workers, o.Metrics, o.Chaos)
 	}},
 	{Info{"remote", "§6.3 ablation", "Local forwarding vs remote rendering"}, func(o Options) Result {
 		return experiment.RemoteAblation(pick(o.Platform, RecRoom), o.Counts, o.Seed, o.Workers, o.Metrics)

@@ -13,7 +13,7 @@ func TestExperimentsRegistryComplete(t *testing.T) {
 	want := []string{
 		"decimate", "disrupt-lat", "fig11", "fig12", "fig13", "fig13tcp",
 		"fig2", "fig3", "fig6", "fig6all", "fig6b", "fig7", "fig9", "p2p",
-		"remote", "table1", "table2", "table3", "table4", "viewport",
+		"remote", "resilience", "table1", "table2", "table3", "table4", "viewport",
 	}
 	if len(infos) != len(want) {
 		t.Fatalf("experiments = %d, want %d", len(infos), len(want))
@@ -136,6 +136,28 @@ func TestConcurrentRunsAreIndependent(t *testing.T) {
 		if outs[g] != outs[0] {
 			t.Fatalf("goroutine %d produced a different artifact:\n%s\nvs\n%s", g, outs[g], outs[0])
 		}
+	}
+}
+
+// TestAuditAndEmptyChaosAreByteIdentical: the conservation auditor only
+// reads, and an empty chaos spec schedules nothing, so flipping both on
+// must not change a single artifact byte.
+func TestAuditAndEmptyChaosAreByteIdentical(t *testing.T) {
+	base, err := svrlab.Run("resilience", svrlab.Options{Seed: 42, Repeats: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped, err := svrlab.Run("resilience", svrlab.Options{
+		Seed: 42, Repeats: 1, Workers: 2,
+		Audit:   true,
+		Metrics: svrlab.NewMetricsRegistry(),
+		Chaos:   &svrlab.ChaosSpec{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, f := base.Render(), flipped.Render(); b != f {
+		t.Fatalf("audit+empty-chaos changed the artifact:\n--- base ---\n%s\n--- flipped ---\n%s", b, f)
 	}
 }
 
