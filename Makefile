@@ -1,7 +1,7 @@
 # Tier-1 gate: everything must build, vet clean, and pass the full test
 # suite with the race detector on (the parallel experiment runner makes the
 # whole suite a concurrency test).
-.PHONY: check build vet test race bench bench-hotpath bench-save audit
+.PHONY: check build vet test race bench bench-hotpath bench-save audit fuzz gencorpus
 
 check: build vet race
 
@@ -23,6 +23,29 @@ race:
 # trace agreement, and capture bounds across the whole reproduction.
 audit:
 	go run ./cmd/svrlab all -seed 42 -repeats 1 -audit
+
+# Fuzz every wire codec for FUZZTIME each (DESIGN.md "The codec hardening
+# contract"). Native Go fuzzing takes one target per invocation, so the
+# loop enumerates targets with -list and runs them back to back. Crashers
+# land in testdata/fuzz/<Target>/ and replay forever after in plain
+# `go test` via the corpus-replay tests. CI runs this with a short
+# FUZZTIME as a smoke pass; use FUZZTIME=60s locally before merging codec
+# changes.
+FUZZTIME ?= 10s
+FUZZPKGS = ./internal/packet ./internal/platform ./internal/capture ./internal/chaos ./internal/secure
+
+fuzz:
+	@set -e; for pkg in $(FUZZPKGS); do \
+		for target in $$(go test -list '^Fuzz' $$pkg | grep '^Fuzz'); do \
+			echo "=== fuzz $$pkg $$target ($(FUZZTIME))"; \
+			go test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg; \
+		done; \
+	done
+
+# Regenerate the checked-in fuzz seed corpora (deterministic; a no-op diff
+# on an unchanged tree).
+gencorpus:
+	go run ./internal/wiretest/gencorpus
 
 # The full paper reproduction: one benchmark per table/figure.
 bench:

@@ -1,0 +1,106 @@
+package capture_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/svrlab/svrlab/internal/capture"
+	"github.com/svrlab/svrlab/internal/wiretest"
+)
+
+// checkPcapReader enforces the pcap hardening contract: arbitrary bytes
+// never panic the reader or make it allocate beyond its input, and any
+// file that reads successfully round-trips through the writer — write ∘
+// read is the identity on records (pcap byte-identity is asserted on the
+// write image, not arbitrary input, because the reader deliberately
+// tolerates foreign values in the don't-care global-header fields).
+func checkPcapReader(t *testing.T, data []byte) {
+	records, err := capture.ReadPcap(bytes.NewReader(data))
+	if err != nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := capture.WritePcap(&buf, records); err != nil {
+		t.Fatalf("re-write of %d read records failed: %v", len(records), err)
+	}
+	again, err := capture.ReadPcap(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-read failed: %v", err)
+	}
+	if len(again) != len(records) {
+		t.Fatalf("re-read %d records, wrote %d", len(again), len(records))
+	}
+	for i := range records {
+		if records[i].TS != again[i].TS || !bytes.Equal(records[i].Wire, again[i].Wire) {
+			t.Fatalf("record %d changed across write/read", i)
+		}
+	}
+}
+
+func FuzzPcapReader(f *testing.F) {
+	var buf bytes.Buffer
+	if err := capture.WritePcap(&buf, []capture.Record{{TS: time.Second, Wire: []byte{1, 2, 3}}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Fuzz(checkPcapReader)
+}
+
+func TestPcapReaderCorpusReplay(t *testing.T) {
+	wiretest.Replay(t, "FuzzPcapReader", checkPcapReader)
+}
+
+// TestWritePcapRejectsUnrepresentableRecords pins the writer-side guard: a
+// record the pcap format cannot carry (negative or >32-bit-seconds
+// timestamp, wire beyond the snap length) errors instead of writing
+// silently wrapped fields that would not survive the round trip.
+func TestWritePcapRejectsUnrepresentableRecords(t *testing.T) {
+	cases := map[string]capture.Record{
+		"negative-ts":  {TS: -time.Microsecond, Wire: []byte{1}},
+		"ts-overflow":  {TS: (1 << 32) * time.Second, Wire: []byte{1}},
+		"oversize-rec": {TS: time.Second, Wire: make([]byte, 262144+1)},
+	}
+	for name, rec := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := capture.WritePcap(&bytes.Buffer{}, []capture.Record{rec}); err == nil {
+				t.Fatal("unrepresentable record written without error")
+			}
+		})
+	}
+}
+
+// TestPcapRoundTripIdentity pins byte-identity of read ∘ write on the
+// write image (the direction lab tooling depends on when archiving and
+// re-analyzing captures).
+func TestPcapRoundTripIdentity(t *testing.T) {
+	in := []capture.Record{
+		{TS: 0, Wire: []byte{}},
+		{TS: 250 * time.Millisecond, Wire: []byte{1, 2, 3}},
+		{TS: 0xffffffff * time.Second, Wire: bytes.Repeat([]byte{9}, 1500)},
+	}
+	var buf bytes.Buffer
+	if err := capture.WritePcap(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture.ReadPcap(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d records, wrote %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i].TS != out[i].TS || !bytes.Equal(in[i].Wire, out[i].Wire) {
+			t.Fatalf("record %d: %v/% x != %v/% x", i, in[i].TS, in[i].Wire, out[i].TS, out[i].Wire)
+		}
+	}
+	var buf2 bytes.Buffer
+	if err := capture.WritePcap(&buf2, out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("second write not byte-identical to first")
+	}
+}

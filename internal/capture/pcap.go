@@ -21,7 +21,12 @@ const (
 	maxSnapLen  = 262144
 )
 
-// WritePcap serializes records to w in libpcap format.
+var errPcapRecord = errors.New("capture: record not representable in pcap")
+
+// WritePcap serializes records to w in libpcap format. Records with a
+// negative timestamp, a timestamp whose seconds overflow the 32-bit pcap
+// field, or a wire image over the snap length cannot be represented and
+// return an error instead of writing silently truncated fields.
 func WritePcap(w io.Writer, records []Record) error {
 	hdr := make([]byte, 24)
 	binary.LittleEndian.PutUint32(hdr[0:], pcapMagic)
@@ -37,6 +42,9 @@ func WritePcap(w io.Writer, records []Record) error {
 	for i := range records {
 		r := &records[i]
 		usec := r.TS.Microseconds()
+		if usec < 0 || usec/1_000_000 > 0xffffffff || len(r.Wire) > maxSnapLen {
+			return errPcapRecord
+		}
 		binary.LittleEndian.PutUint32(rec[0:], uint32(usec/1_000_000))
 		binary.LittleEndian.PutUint32(rec[4:], uint32(usec%1_000_000))
 		binary.LittleEndian.PutUint32(rec[8:], uint32(len(r.Wire)))
@@ -69,6 +77,9 @@ func ReadPcap(r io.Reader) ([]Record, error) {
 	if binary.LittleEndian.Uint32(hdr[0:]) != pcapMagic {
 		return nil, errPcap
 	}
+	if binary.LittleEndian.Uint16(hdr[4:]) != pcapVMajor {
+		return nil, errPcap
+	}
 	if lt := binary.LittleEndian.Uint32(hdr[20:]); lt != linktypeRaw {
 		return nil, fmt.Errorf("capture: unsupported linktype %d", lt)
 	}
@@ -84,7 +95,13 @@ func ReadPcap(r io.Reader) ([]Record, error) {
 		sec := binary.LittleEndian.Uint32(rec[0:])
 		usec := binary.LittleEndian.Uint32(rec[4:])
 		caplen := binary.LittleEndian.Uint32(rec[8:])
-		if caplen > maxSnapLen {
+		origlen := binary.LittleEndian.Uint32(rec[12:])
+		// usec is a sub-second field: a value of a million or more cannot
+		// come from a well-formed writer and would not survive the
+		// microsecond round-trip. Truncated packets (caplen < origlen)
+		// are rejected too: the lab's own writer never produces them, and
+		// a restored record must re-serialize byte-identically.
+		if caplen > maxSnapLen || caplen != origlen || usec >= 1_000_000 {
 			return nil, errPcap
 		}
 		wire := make([]byte, caplen)

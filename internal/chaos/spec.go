@@ -38,8 +38,14 @@ type SpecFault struct {
 	Period   string   `json:"period,omitempty"`
 }
 
-// ParseSpec decodes a JSON fault schedule, validating kinds and durations
-// (target names are validated later by Bind, against a real topology).
+// maxFlaps bounds the flap cycles one fault may schedule: every cycle
+// becomes scheduler events, so a small JSON document must not be able to
+// demand an unbounded event fan-out.
+const maxFlaps = 10_000
+
+// ParseSpec decodes a JSON fault schedule, validating kinds, durations and
+// flap bounds (target names are validated later by Bind, against a real
+// topology).
 func ParseSpec(data []byte) (*Spec, error) {
 	var s Spec
 	if err := json.Unmarshal(data, &s); err != nil {
@@ -59,6 +65,9 @@ func ParseSpec(data []byte) (*Spec, error) {
 		}
 		if _, err := parseDur(f.Period, true); err != nil {
 			return nil, fmt.Errorf("chaos spec: fault %d: period: %w", i, err)
+		}
+		if f.Flaps < 0 || f.Flaps > maxFlaps {
+			return nil, fmt.Errorf("chaos spec: fault %d: flaps %d outside [0, %d]", i, f.Flaps, maxFlaps)
 		}
 	}
 	return &s, nil

@@ -16,6 +16,11 @@ const (
 	// TLSRecordOverhead is the per-record ciphertext expansion of an
 	// AES-GCM AEAD: 8-byte explicit nonce + 16-byte tag.
 	TLSRecordOverhead = 24
+	// MaxTLSPlaintext is the RFC 8446 per-record plaintext ceiling (2^14).
+	// MarshalTLSRecord splits longer bodies across records exactly as real
+	// TLS does; before this bound existed, a body over 65511 bytes silently
+	// wrapped the 16-bit record length and desynced the receiver.
+	MaxTLSPlaintext = 16384
 )
 
 // TLSRecord is one TLS record header plus its (opaque) body length.
@@ -24,30 +29,72 @@ type TLSRecord struct {
 	BodyLen     int
 }
 
-// MarshalTLSRecord frames body bytes as a TLS record of the given content
-// type, including AEAD expansion. The body itself is appended verbatim; the
-// simulation does not need real encryption, only real sizes.
+// MarshalTLSRecord frames body bytes as one or more TLS records of the
+// given content type, each including AEAD expansion. Bodies longer than
+// MaxTLSPlaintext are split across consecutive records (real TLS
+// fragmentation), so the 16-bit record length can never wrap. The body
+// itself is appended verbatim; the simulation does not need real
+// encryption, only real sizes.
 func MarshalTLSRecord(contentType uint8, body []byte) []byte {
-	out := make([]byte, TLSRecordHeaderLen+len(body)+TLSRecordOverhead)
+	if len(body) <= MaxTLSPlaintext {
+		return marshalOneTLSRecord(nil, contentType, body)
+	}
+	records := (len(body) + MaxTLSPlaintext - 1) / MaxTLSPlaintext
+	out := make([]byte, 0, len(body)+records*(TLSRecordHeaderLen+TLSRecordOverhead))
+	for len(body) > 0 {
+		n := len(body)
+		if n > MaxTLSPlaintext {
+			n = MaxTLSPlaintext
+		}
+		out = marshalOneTLSRecord(out, contentType, body[:n])
+		body = body[n:]
+	}
+	return out
+}
+
+// marshalOneTLSRecord appends a single record framing body (which must fit
+// MaxTLSPlaintext) to dst.
+func marshalOneTLSRecord(dst []byte, contentType uint8, body []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, TLSRecordHeaderLen+len(body)+TLSRecordOverhead)...)
+	out := dst[off:]
 	out[0] = contentType
 	out[1] = 3
 	out[2] = 3 // TLS 1.2 wire version
 	binary.BigEndian.PutUint16(out[3:5], uint16(len(body)+TLSRecordOverhead))
 	copy(out[TLSRecordHeaderLen:], body)
-	return out
+	return dst
 }
 
-var errTLSShort = errors.New("packet: truncated TLS record")
+// Errors distinguishing an incomplete TLS record (feed more bytes) from a
+// structurally invalid one (the stream is corrupt and must be dropped).
+var (
+	ErrTLSShort     = errors.New("packet: truncated TLS record")
+	ErrTLSMalformed = errors.New("packet: malformed TLS record")
+)
 
 // DecodeTLSRecord parses one record from the front of b, returning the
-// record, the plaintext body, and the remaining bytes.
+// record, the plaintext body, and the remaining bytes. ErrTLSShort means b
+// is a valid but incomplete prefix; ErrTLSMalformed means no completion of
+// b can be a record MarshalTLSRecord produced — the length field is below
+// the AEAD overhead or above the plaintext ceiling, the protocol version is
+// wrong, or the AEAD expansion bytes (zero in this lab) are corrupted.
 func DecodeTLSRecord(b []byte) (TLSRecord, []byte, []byte, error) {
 	if len(b) < TLSRecordHeaderLen {
-		return TLSRecord{}, nil, nil, errTLSShort
+		return TLSRecord{}, nil, nil, ErrTLSShort
+	}
+	if b[1] != 3 || b[2] != 3 {
+		return TLSRecord{}, nil, nil, ErrTLSMalformed
 	}
 	n := int(binary.BigEndian.Uint16(b[3:5]))
-	if len(b) < TLSRecordHeaderLen+n || n < TLSRecordOverhead {
-		return TLSRecord{}, nil, nil, errTLSShort
+	if n < TLSRecordOverhead || n-TLSRecordOverhead > MaxTLSPlaintext {
+		return TLSRecord{}, nil, nil, ErrTLSMalformed
+	}
+	if len(b) < TLSRecordHeaderLen+n {
+		return TLSRecord{}, nil, nil, ErrTLSShort
+	}
+	if !allZero(b[TLSRecordHeaderLen+n-TLSRecordOverhead : TLSRecordHeaderLen+n]) {
+		return TLSRecord{}, nil, nil, ErrTLSMalformed
 	}
 	rec := TLSRecord{ContentType: b[0], BodyLen: n}
 	body := b[TLSRecordHeaderLen : TLSRecordHeaderLen+n-TLSRecordOverhead]
@@ -94,15 +141,24 @@ func MarshalRTP(h RTPHeader, payload []byte) []byte {
 	return out
 }
 
-var errRTPShort = errors.New("packet: truncated RTP")
+var (
+	errRTPShort     = errors.New("packet: truncated RTP")
+	errRTPMalformed = errors.New("packet: malformed RTP")
+)
 
 // DecodeRTP parses an SRTP packet, returning the header and voice payload.
+// The first octet must be exactly version 2 with no padding, extension, or
+// CSRC list (all the lab's sender emits), and the trailing auth tag must be
+// zero — the lab's stand-in for a tag that verified.
 func DecodeRTP(b []byte) (RTPHeader, []byte, error) {
 	if len(b) < RTPHeaderLen+SRTPAuthTagLen {
 		return RTPHeader{}, nil, errRTPShort
 	}
-	if b[0]>>6 != 2 {
-		return RTPHeader{}, nil, errors.New("packet: bad RTP version")
+	if b[0] != 2<<6 {
+		return RTPHeader{}, nil, errRTPMalformed
+	}
+	if !allZero(b[len(b)-SRTPAuthTagLen:]) {
+		return RTPHeader{}, nil, errRTPMalformed
 	}
 	h := RTPHeader{
 		PayloadType: b[1] & 0x7f,
@@ -137,13 +193,24 @@ func MarshalRTCP(p RTCPPacket) []byte {
 	return out
 }
 
-// DecodeRTCP parses a report.
+var (
+	errRTCPShort     = errors.New("packet: truncated RTCP")
+	errRTCPMalformed = errors.New("packet: malformed RTCP")
+)
+
+// DecodeRTCP parses a report. The 16-bit length field (in 32-bit words
+// minus one, as RFC 3550 defines it) must agree exactly with the packet
+// size — it used to be read-ignored, so a corrupted length silently decoded
+// into a report whose span didn't match the wire.
 func DecodeRTCP(b []byte) (RTCPPacket, error) {
 	if len(b) < RTCPHeaderLen+8 {
-		return RTCPPacket{}, errors.New("packet: truncated RTCP")
+		return RTCPPacket{}, errRTCPShort
 	}
-	if b[0]>>6 != 2 {
-		return RTCPPacket{}, errors.New("packet: bad RTCP version")
+	if len(b) != RTCPHeaderLen+8 || b[0] != 2<<6 {
+		return RTCPPacket{}, errRTCPMalformed
+	}
+	if words := int(binary.BigEndian.Uint16(b[2:4])); (words+1)*4 != len(b) {
+		return RTCPPacket{}, errRTCPMalformed
 	}
 	return RTCPPacket{
 		Type: b[1],

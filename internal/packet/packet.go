@@ -197,6 +197,13 @@ func (p *Packet) Marshal() []byte {
 // steady-state serialization allocates nothing.
 func (p *Packet) MarshalTo(dst []byte) []byte {
 	need := p.WireLen()
+	if need > 0xffff {
+		// The IPv4 total-length field is 16 bits; wrapping it would emit a
+		// frame whose decode sees an inconsistent length. The fabric
+		// segments to MSS long before this, so hitting it is a caller bug —
+		// fail loudly instead of corrupting the wire.
+		panic("packet: frame exceeds IPv4 total-length field")
+	}
 	var buf []byte
 	if cap(dst) >= need {
 		buf = dst[:need]
@@ -281,21 +288,41 @@ func PatchTTL(wire []byte, ttl uint8) {
 }
 
 var (
-	errShort      = errors.New("packet: truncated")
-	errBadVersion = errors.New("packet: not IPv4")
-	errBadLen     = errors.New("packet: inconsistent length")
-	errChecksum   = errors.New("packet: bad IPv4 checksum")
+	errShort        = errors.New("packet: truncated")
+	errBadVersion   = errors.New("packet: not IPv4")
+	errBadLen       = errors.New("packet: inconsistent length")
+	errChecksum     = errors.New("packet: bad IPv4 checksum")
+	errNonCanonical = errors.New("packet: non-canonical wire form")
 )
+
+// allZero reports whether every byte of b is zero.
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // Decode parses wire bytes into a Packet, validating structure and the IPv4
 // checksum. Unknown transport protocols decode with the remainder as
 // payload and all transport layers nil.
+//
+// Decode accepts exactly the image of Marshal (the codec hardening
+// contract, DESIGN §4.10): fields Marshal emits as constants — IHL 5, TOS
+// 0, the fragment word, transport checksums the lab leaves zero, the TCP
+// data offset and urgent pointer — are validated, so Marshal(Decode(b)) is
+// byte-identical to b for every b that decodes.
 func Decode(b []byte) (*Packet, error) {
 	if len(b) < IPv4HeaderLen {
 		return nil, errShort
 	}
 	if b[0]>>4 != 4 {
 		return nil, errBadVersion
+	}
+	if b[0] != 0x45 || b[1] != 0 || b[6] != 0 || b[7] != 0 {
+		return nil, errNonCanonical
 	}
 	total := int(binary.BigEndian.Uint16(b[2:4]))
 	if total != len(b) {
@@ -326,11 +353,17 @@ func Decode(b []byte) (*Packet, error) {
 		if int(u.Length) != len(rest) {
 			return nil, errBadLen
 		}
+		if rest[6] != 0 || rest[7] != 0 { // checksum: always zero in the lab
+			return nil, errNonCanonical
+		}
 		p.UDP = u
 		p.Payload = append([]byte(nil), rest[UDPHeaderLen:]...)
 	case ProtoTCP:
 		if len(rest) < TCPHeaderLen {
 			return nil, errShort
+		}
+		if rest[12] != 5<<4 || !allZero(rest[16:20]) { // data offset, checksum, urgent
+			return nil, errNonCanonical
 		}
 		p.TCP = &TCP{
 			SrcPort: binary.BigEndian.Uint16(rest[0:2]),
@@ -344,6 +377,9 @@ func Decode(b []byte) (*Packet, error) {
 	case ProtoICMP:
 		if len(rest) < ICMPHeaderLen {
 			return nil, errShort
+		}
+		if rest[2] != 0 || rest[3] != 0 { // checksum: always zero in the lab
+			return nil, errNonCanonical
 		}
 		p.ICMP = &ICMP{
 			Type: rest[0],

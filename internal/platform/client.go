@@ -166,9 +166,14 @@ func (c *Client) Launch() {
 	c.stops = append(c.stops, c.Dep.Sched.Ticker(time.Second, c.sceneTick))
 }
 
-// request issues a control-channel request.
+// request issues a control-channel request. User and room names longer
+// than the wire format's 255-byte length prefix are a configuration error
+// and rejected at session setup (see JoinEvent) — they can never reach here.
 func (c *Client) request(reqType byte, rest []byte) {
-	body := marshalCtrlReq(reqType, c.User, c.RoomName, rest)
+	body, err := marshalCtrlReq(reqType, c.User, c.RoomName, rest)
+	if err != nil {
+		panic(fmt.Sprintf("platform: client %q room %q: %v", c.User, c.RoomName, err))
+	}
 	c.ctrl.Send(secure.MarshalMsg(secure.MsgRequest, body))
 }
 
@@ -187,8 +192,14 @@ func (c *Client) download(n int) {
 }
 
 // JoinEvent enters a social event. Position defaults to a random spot; use
-// StandAt/Turn/Wander to choreograph experiments.
+// StandAt/Turn/Wander to choreograph experiments. Room and user names must
+// fit the wire format's 255-byte length prefix; longer names are a
+// configuration error, rejected here (loudly) rather than silently
+// truncated into a desynced hello frame.
 func (c *Client) JoinEvent(room string) {
+	if len(room) > 255 || len(c.User) > 255 {
+		panic(fmt.Sprintf("platform: JoinEvent: room %q / user %q exceed the 255-byte wire limit", room, c.User))
+	}
 	c.RoomName = room
 	c.InEvent = true
 	if c.menuStop != nil {
@@ -210,7 +221,11 @@ func (c *Client) JoinEvent(room string) {
 			if c.UsePrivateHubs && c.Dep.privateHubsSFU.Addr != 0 {
 				sfu = c.Dep.privateHubsSFU
 			}
-			sock.SendTo(sfu, marshalHello(helloMsg{Room: room, User: c.User}))
+			hello, err := marshalHello(helloMsg{Room: room, User: c.User})
+			if err != nil {
+				panic(fmt.Sprintf("platform: JoinEvent(%q): %v", room, err))
+			}
+			sock.SendTo(sfu, hello)
 			c.voice = rtpx.NewStream(c.Dep.Sched, sock, sfu, uint32(c.lbIndex), true)
 			c.voice.OnVoice = func(seq uint16, payload []byte) { c.VoiceFwdReceived++ }
 		}
@@ -222,7 +237,11 @@ func (c *Client) JoinEvent(room string) {
 		c.dataSock = sock
 		c.dataEP = c.Dep.DataEndpoint(p, c.Host.Site, c.lbIndex)
 		sock.OnRecv = c.onDatagram
-		sock.SendTo(c.dataEP, marshalHello(helloMsg{Room: room, User: c.User}))
+		hello, err := marshalHello(helloMsg{Room: room, User: c.User})
+		if err != nil {
+			panic(fmt.Sprintf("platform: JoinEvent(%q): %v", room, err))
+		}
+		sock.SendTo(c.dataEP, hello)
 	}
 
 	if c.Wander {
@@ -378,7 +397,14 @@ func (c *Client) sendAvatar(actionID uint32, triggeredLocal time.Duration) {
 		_ = triggeredLocal
 	}
 	if c.Profile.WebData {
-		body := jsonEnvelope(marshalAvatar(am))
+		body, err := jsonEnvelope(marshalAvatar(am))
+		if err != nil {
+			// A pose too large for the envelope's 16-bit length prefix:
+			// drop the update (a rate reduction, like the send gates above)
+			// rather than emit a truncated frame.
+			c.Dep.Metrics().Inc("platform.wire_marshal_err")
+			return
+		}
 		c.ctrl.Send(secure.MarshalMsg(secure.MsgPush, body))
 		c.seq++
 		return
@@ -457,25 +483,34 @@ func (c *Client) onDatagram(src packet.Endpoint, payload []byte) {
 	case kindForward:
 		f, err := parseForward(payload)
 		if err != nil {
+			c.Dep.Metrics().Inc("platform.wire_parse_err")
 			return
 		}
 		c.handleForward(f)
 	case kindSync:
 		m, err := parseSeq(payload)
 		if err != nil {
+			c.Dep.Metrics().Inc("platform.wire_parse_err")
 			return
 		}
 		c.trackLoss(&c.lastSyncSeq, m.Seq)
 	case kindGameDown:
 		m, err := parseSeq(payload)
 		if err != nil {
+			c.Dep.Metrics().Inc("platform.wire_parse_err")
 			return
 		}
 		c.trackLoss(&c.lastGameSeq, m.Seq)
 	case kindVoiceFwd:
+		if _, _, err := parseVoiceFwd(payload); err != nil {
+			c.Dep.Metrics().Inc("platform.wire_parse_err")
+			return
+		}
 		c.VoiceFwdReceived++
 	case kindKeepalive:
 		// liveness only
+	default:
+		c.Dep.Metrics().Inc("platform.wire_unknown_kind")
 	}
 }
 

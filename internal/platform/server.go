@@ -274,10 +274,19 @@ func (b *Backend) handleAvatarUpload(m *Member, am avatarMsg, private bool) {
 		return
 	}
 	delay := b.serverDelay(room, private)
-	fwd := marshalForward(forwardMsg{User: m.User, avatarMsg: am})
+	fwd, err := marshalForward(forwardMsg{User: m.User, avatarMsg: am})
+	if err != nil {
+		// Unreachable for members admitted through parseHello (names are
+		// length-prefix bounded there), but never forward a truncated frame.
+		b.dep.Metrics().Inc("platform.wire_marshal_err")
+		return
+	}
 	var fwdWeb []byte
 	if p.WebData {
-		fwdWeb = jsonEnvelope(fwd)
+		if fwdWeb, err = jsonEnvelope(fwd); err != nil {
+			b.dep.Metrics().Inc("platform.wire_marshal_err")
+			return
+		}
 	}
 	b.dep.Sched.After(delay, func() {
 		if am.ActionID != 0 {
@@ -360,7 +369,11 @@ func (b *Backend) handleVoiceUpload(m *Member, payload []byte) {
 	if room == nil {
 		return
 	}
-	fwd := marshalVoiceFwd(m.User, payload)
+	fwd, err := marshalVoiceFwd(m.User, payload)
+	if err != nil {
+		b.dep.Metrics().Inc("platform.wire_marshal_err")
+		return
+	}
 	b.dep.Sched.After(5*time.Millisecond, func() {
 		for _, user := range room.order {
 			o := room.members[user]
@@ -421,6 +434,7 @@ func (s *DataServer) onDatagram(src packet.Endpoint, payload []byte) {
 	case kindHello:
 		h, err := parseHello(payload)
 		if err != nil {
+			s.dep.Metrics().Inc("platform.wire_parse_err")
 			return
 		}
 		s.be.join(h.Room, h.User, s, src, nil)
@@ -431,12 +445,19 @@ func (s *DataServer) onDatagram(src packet.Endpoint, payload []byte) {
 		}
 		am, err := parseAvatar(payload)
 		if err != nil {
+			s.dep.Metrics().Inc("platform.wire_parse_err")
 			return
 		}
 		s.be.handleAvatarUpload(m, am, false)
 	case kindVoice:
+		// Parse before slicing: a voice datagram shorter than the seq
+		// header used to panic on payload[5:].
+		if _, err := parseSeq(payload); err != nil {
+			s.dep.Metrics().Inc("platform.wire_parse_err")
+			return
+		}
 		if m := s.member(src); m != nil {
-			s.be.handleVoiceUpload(m, payload[5:])
+			s.be.handleVoiceUpload(m, payload[seqHdrLen:])
 		}
 	case kindTelemetry:
 		// Status telemetry: absorbed by the server (never forwarded) —
@@ -449,6 +470,10 @@ func (s *DataServer) onDatagram(src packet.Endpoint, payload []byte) {
 		if m := s.member(src); m != nil {
 			s.be.leave(m)
 		}
+	default:
+		// Unknown kinds are a protocol violation, not filler: count them
+		// so corruption is visible instead of silently absorbed.
+		s.dep.Metrics().Inc("platform.wire_unknown_kind")
 	}
 }
 
@@ -488,12 +513,15 @@ func (cs *ctrlSession) push(payload []byte) {
 }
 
 // control request body layout: [reqType][userLen][user][roomLen][room][rest...]
-func marshalCtrlReq(reqType byte, user, room string, rest []byte) []byte {
+func marshalCtrlReq(reqType byte, user, room string, rest []byte) ([]byte, error) {
+	if len(user) > 255 || len(room) > 255 {
+		return nil, errNameTooLong
+	}
 	out := []byte{reqType, byte(len(user))}
 	out = append(out, user...)
 	out = append(out, byte(len(room)))
 	out = append(out, room...)
-	return append(out, rest...)
+	return append(out, rest...), nil
 }
 
 func parseCtrlReq(b []byte) (reqType byte, user, room string, rest []byte, err error) {
@@ -522,6 +550,7 @@ func (cs *ctrlSession) onMsg(kind byte, body []byte) {
 	case secure.MsgRequest, secure.MsgReport:
 		reqType, user, room, rest, err := parseCtrlReq(body)
 		if err != nil {
+			s.dep.Metrics().Inc("platform.wire_parse_err")
 			return
 		}
 		switch reqType {
@@ -548,7 +577,13 @@ func (cs *ctrlSession) onMsg(kind byte, body []byte) {
 			cs.respond(make([]byte, 2_000))
 		case reqAsset:
 			if len(rest) >= 4 {
+				// Cap like the asset server: a 4-byte field must not be
+				// able to demand a multi-GiB response allocation.
 				n := int(binary.BigEndian.Uint32(rest))
+				if n > maxAssetBytes {
+					s.dep.Metrics().Inc("platform.ctrl_oversize_req")
+					return
+				}
 				cs.respond(make([]byte, n))
 			}
 		}
@@ -559,10 +594,12 @@ func (cs *ctrlSession) onMsg(kind byte, body []byte) {
 		}
 		inner, err := fromJSONEnvelope(body)
 		if err != nil {
+			s.dep.Metrics().Inc("platform.wire_parse_err")
 			return
 		}
 		am, err := parseAvatar(inner)
 		if err != nil {
+			s.dep.Metrics().Inc("platform.wire_parse_err")
 			return
 		}
 		s.be.handleAvatarUpload(cs.member, am, s.isPrivate)
@@ -588,6 +625,11 @@ type AssetServer struct {
 	stack *transport.Stack
 }
 
+// maxAssetBytes bounds any single asset/CDN response (512 MiB): download
+// sizes come off the wire as a 32-bit field, and the allocation they demand
+// must be capped, not trusted.
+const maxAssetBytes = 512 << 20
+
 func newAssetServer(d *Deployment, p *Profile, h *netsim.Host) *AssetServer {
 	s := &AssetServer{stack: transport.NewStack(d.Net, h)}
 	s.stack.ListenTCP(PortAsset, func(conn *transport.Conn) {
@@ -598,7 +640,7 @@ func newAssetServer(d *Deployment, p *Profile, h *netsim.Host) *AssetServer {
 				return
 			}
 			n := int(binary.BigEndian.Uint32(body[1:5]))
-			if n > 512<<20 {
+			if n > maxAssetBytes {
 				return
 			}
 			sess.Send(secure.MarshalMsg(secure.MsgResponse, make([]byte, n)))
@@ -648,6 +690,7 @@ func (s *SFUServer) onDatagram(src packet.Endpoint, payload []byte) {
 	if payload[0] == kindHello {
 		h, err := parseHello(payload)
 		if err != nil {
+			s.dep.Metrics().Inc("platform.wire_parse_err")
 			return
 		}
 		if _, known := s.members[src]; !known {
@@ -657,9 +700,18 @@ func (s *SFUServer) onDatagram(src packet.Endpoint, payload []byte) {
 		}
 		return
 	}
+	if payload[0]>>6 != 2 {
+		// Neither a hello nor an RTP/RTCP v2 frame: don't relay garbage.
+		s.dep.Metrics().Inc("platform.wire_unknown_kind")
+		return
+	}
 	if packet.IsRTCP(payload) {
 		rep, err := packet.DecodeRTCP(payload)
-		if err != nil || rep.Type != packet.RTCPSenderReport {
+		if err != nil {
+			s.dep.Metrics().Inc("platform.wire_parse_err")
+			return
+		}
+		if rep.Type != packet.RTCPSenderReport {
 			return
 		}
 		// Answer with a receiver report so the client measures client↔SFU

@@ -3,9 +3,17 @@
 // channel. One compact binary format serves all platforms — the platforms
 // differ in which messages they send, at what rates, and over which
 // transports, not in framing.
+//
+// Every parser here honors the codec hardening contract (DESIGN §4.10): it
+// never panics on arbitrary bytes, never allocates beyond its input, and
+// accepts exactly the image of its marshaler — so re-marshaling a parsed
+// frame is byte-identical to the input. Marshalers return explicit errors
+// where a field would otherwise silently truncate (names longer than the
+// 255-byte length prefix, envelope payloads beyond the 16-bit prefix).
 package platform
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 )
@@ -34,7 +42,11 @@ const (
 	reqAsset     = 5
 )
 
-var errWire = errors.New("platform: malformed message")
+var (
+	errWire        = errors.New("platform: malformed message")
+	errNameTooLong = errors.New("platform: name longer than 255 bytes")
+	errInnerTooBig = errors.New("platform: payload exceeds envelope length prefix")
+)
 
 // helloMsg announces a client to a data server.
 type helloMsg struct {
@@ -42,28 +54,32 @@ type helloMsg struct {
 	User string
 }
 
-func marshalHello(h helloMsg) []byte {
+func marshalHello(h helloMsg) ([]byte, error) {
+	if len(h.Room) > 255 || len(h.User) > 255 {
+		// byte(len(...)) would silently truncate the length prefix and
+		// desync the parser; names this long are a configuration error.
+		return nil, errNameTooLong
+	}
 	out := []byte{kindHello, byte(len(h.Room))}
 	out = append(out, h.Room...)
 	out = append(out, byte(len(h.User)))
 	out = append(out, h.User...)
-	return out
+	return out, nil
 }
 
 func parseHello(b []byte) (helloMsg, error) {
-	if len(b) < 2 || b[0] != kindHello {
+	if len(b) < 3 || b[0] != kindHello {
 		return helloMsg{}, errWire
 	}
 	rl := int(b[1])
-	if len(b) < 2+rl+1 {
+	if len(b) < 3+rl {
 		return helloMsg{}, errWire
 	}
-	room := string(b[2 : 2+rl])
 	ul := int(b[2+rl])
-	if len(b) < 3+rl+ul {
+	if len(b) != 3+rl+ul {
 		return helloMsg{}, errWire
 	}
-	return helloMsg{Room: room, User: string(b[3+rl : 3+rl+ul])}, nil
+	return helloMsg{Room: string(b[2 : 2+rl]), User: string(b[3+rl : 3+rl+ul])}, nil
 }
 
 // avatarMsg is a pose update. ActionID marks a user action for the latency
@@ -107,13 +123,16 @@ type forwardMsg struct {
 	avatarMsg
 }
 
-func marshalForward(f forwardMsg) []byte {
+func marshalForward(f forwardMsg) ([]byte, error) {
+	if len(f.User) > 255 {
+		return nil, errNameTooLong
+	}
 	inner := marshalAvatar(f.avatarMsg)
 	out := make([]byte, 0, 2+len(f.User)+len(inner))
 	out = append(out, kindForward, byte(len(f.User)))
 	out = append(out, f.User...)
 	out = append(out, inner...)
-	return out
+	return out, nil
 }
 
 func parseForward(b []byte) (forwardMsg, error) {
@@ -133,34 +152,56 @@ func parseForward(b []byte) (forwardMsg, error) {
 }
 
 // seqMsg is the generic sequenced filler used by voice, sync, telemetry and
-// game streams: kind, sequence number, opaque payload of a given size.
+// game streams: kind, sequence number, opaque zero payload of a given size.
 type seqMsg struct {
 	Kind byte
 	Seq  uint32
 	Size int // payload size on the wire
 }
 
+const seqHdrLen = 5
+
+// seqKind reports whether k is one of the kinds carried as seqMsg filler.
+func seqKind(k byte) bool {
+	switch k {
+	case kindVoice, kindSync, kindTelemetry, kindGame, kindGameDown, kindKeepalive:
+		return true
+	}
+	return false
+}
+
 func marshalSeq(m seqMsg) []byte {
-	out := make([]byte, 5+m.Size)
+	out := make([]byte, seqHdrLen+m.Size)
 	out[0] = m.Kind
 	binary.BigEndian.PutUint32(out[1:], m.Seq)
 	return out
 }
 
+// parseSeq rejects unknown kind bytes and non-zero filler instead of
+// treating any datagram tail as valid payload — a frame that parses is
+// exactly one marshalSeq emitted.
 func parseSeq(b []byte) (seqMsg, error) {
-	if len(b) < 5 {
+	if len(b) < seqHdrLen || !seqKind(b[0]) {
 		return seqMsg{}, errWire
 	}
-	return seqMsg{Kind: b[0], Seq: binary.BigEndian.Uint32(b[1:]), Size: len(b) - 5}, nil
+	for _, v := range b[seqHdrLen:] {
+		if v != 0 {
+			return seqMsg{}, errWire
+		}
+	}
+	return seqMsg{Kind: b[0], Seq: binary.BigEndian.Uint32(b[1:]), Size: len(b) - seqHdrLen}, nil
 }
 
 // voiceFwdMsg wraps a voice frame with its speaker.
-func marshalVoiceFwd(user string, inner []byte) []byte {
+func marshalVoiceFwd(user string, inner []byte) ([]byte, error) {
+	if len(user) > 255 {
+		return nil, errNameTooLong
+	}
 	out := make([]byte, 0, 2+len(user)+len(inner))
 	out = append(out, kindVoiceFwd, byte(len(user)))
 	out = append(out, user...)
 	out = append(out, inner...)
-	return out
+	return out, nil
 }
 
 func parseVoiceFwd(b []byte) (string, []byte, error) {
@@ -180,15 +221,29 @@ func parseVoiceFwd(b []byte) (string, []byte, error) {
 // is what throughput measurement sees) without paying for real JSON
 // encoding; the true payload is embedded with a length prefix so the
 // receiver can recover it.
-func jsonEnvelope(inner []byte) []byte {
-	n := len(inner)*4/3 + 140
+//
+// Layout: '{', 2-byte inner length, the key marker, zero filler, the inner
+// payload, '}'. The parser validates every region, so a crafted length
+// prefix can neither overlap the header nor claim bytes the envelope does
+// not carry.
+const (
+	envelopeMarker   = `"type":"pose","networkId":"`
+	envelopeOverhead = 140
+	maxEnvelopeInner = 0xffff // 16-bit length prefix
+)
+
+func jsonEnvelope(inner []byte) ([]byte, error) {
+	if len(inner) > maxEnvelopeInner {
+		return nil, errInnerTooBig
+	}
+	n := len(inner)*4/3 + envelopeOverhead
 	out := make([]byte, n)
 	out[0] = '{'
 	binary.BigEndian.PutUint16(out[1:3], uint16(len(inner)))
-	copy(out[3:], `"type":"pose","networkId":"`)
+	copy(out[3:], envelopeMarker)
 	copy(out[n-len(inner)-1:], inner)
 	out[n-1] = '}'
-	return out
+	return out, nil
 }
 
 func fromJSONEnvelope(b []byte) ([]byte, error) {
@@ -196,8 +251,18 @@ func fromJSONEnvelope(b []byte) ([]byte, error) {
 		return nil, errWire
 	}
 	innerLen := int(binary.BigEndian.Uint16(b[1:3]))
-	if len(b) < innerLen+4 {
+	if len(b) != innerLen*4/3+envelopeOverhead {
 		return nil, errWire
+	}
+	// envelopeOverhead ≥ 3 + len(marker) + 1 + inner/3 filler, so with the
+	// exact-length check above the regions below can never overlap.
+	if !bytes.HasPrefix(b[3:], []byte(envelopeMarker)) {
+		return nil, errWire
+	}
+	for _, v := range b[3+len(envelopeMarker) : len(b)-innerLen-1] {
+		if v != 0 {
+			return nil, errWire
+		}
 	}
 	return b[len(b)-innerLen-1 : len(b)-1], nil
 }

@@ -8,6 +8,7 @@ package secure
 
 import (
 	"encoding/binary"
+	"errors"
 
 	"github.com/svrlab/svrlab/internal/obs"
 	"github.com/svrlab/svrlab/internal/packet"
@@ -24,9 +25,10 @@ const (
 
 // Session is one side of an established (or establishing) secure channel.
 type Session struct {
-	conn   *transport.Conn
-	client bool
-	ready  bool
+	conn    *transport.Conn
+	client  bool
+	ready   bool
+	metrics *obs.Registry
 
 	// Precomputed metric handles for the per-record path.
 	cRecordsSent  obs.Counter
@@ -51,8 +53,8 @@ type Session struct {
 }
 
 func newSession(conn *transport.Conn, client bool) *Session {
-	s := &Session{conn: conn, client: client}
-	m := conn.Metrics()
+	s := &Session{conn: conn, client: client, metrics: conn.Metrics()}
+	m := s.metrics
 	s.cRecordsSent = m.Counter("secure.records_sent")
 	s.cRecordsRecv = m.Counter("secure.records_recv")
 	s.cAppBytesSent = m.Counter("secure.app_bytes_sent")
@@ -130,11 +132,19 @@ func (s *Session) flushPending() {
 	s.pending = nil
 }
 
-// onRaw reassembles records from the TCP byte stream.
+// onRaw reassembles records from the TCP byte stream. A short decode waits
+// for more bytes; a malformed record means the stream is corrupt beyond
+// recovery (record boundaries are lost), so the buffer is dropped and the
+// event counted — a real TLS peer would send a fatal alert here.
 func (s *Session) onRaw(b []byte) {
 	s.rxBuf = append(s.rxBuf, b...)
 	for {
 		rec, body, rest, err := packet.DecodeTLSRecord(s.rxBuf)
+		if errors.Is(err, packet.ErrTLSMalformed) {
+			s.rxBuf = nil
+			s.metrics.Inc("secure.bad_records")
+			return
+		}
 		if err != nil {
 			return // need more bytes
 		}

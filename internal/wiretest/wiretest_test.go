@@ -1,0 +1,79 @@
+package wiretest
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCorpusEntryRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{0},
+		[]byte("plain text"),
+		{0x00, 0xff, '\n', '"', '\\', 0x7f},
+		bytes.Repeat([]byte{0xaa}, 300),
+	}
+	for _, data := range cases {
+		got, err := ParseCorpusEntry(CorpusEntry(data))
+		if err != nil {
+			t.Fatalf("% x: %v", data, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip % x -> % x", data, got)
+		}
+	}
+}
+
+func TestParseCorpusEntryRejectsGarbage(t *testing.T) {
+	for _, content := range []string{
+		"",
+		"not a corpus file",
+		"go test fuzz v1\n",
+		"go test fuzz v1\nint(7)\n",
+		"go test fuzz v1\n[]byte(unquoted)\n",
+	} {
+		if _, err := ParseCorpusEntry([]byte(content)); err == nil {
+			t.Fatalf("%q parsed without error", content)
+		}
+	}
+}
+
+func TestWriteCorpusAndReplay(t *testing.T) {
+	// Replay resolves testdata/fuzz/<target> relative to the test's working
+	// directory; write a corpus there, then point Replay at it.
+	dir := filepath.Join("testdata", "fuzz", "FuzzScratch")
+	if err := WriteCorpus(dir, []byte("one"), []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(filepath.Join("testdata", "fuzz")) })
+	var seen [][]byte
+	Replay(t, "FuzzScratch", func(t *testing.T, data []byte) {
+		seen = append(seen, data)
+	})
+	if len(seen) != 2 || string(seen[0]) != "one" || string(seen[1]) != "two" {
+		t.Fatalf("replayed %q", seen)
+	}
+}
+
+func TestCheckPrefixesVisitsEveryStrictPrefix(t *testing.T) {
+	frame := []byte{1, 2, 3, 4, 5}
+	var lens []int
+	CheckPrefixes(t, frame, func(t *testing.T, data []byte) {
+		lens = append(lens, len(data))
+	})
+	if len(lens) != len(frame) {
+		t.Fatalf("visited %d prefixes, want %d", len(lens), len(frame))
+	}
+	for i, n := range lens {
+		if n != i {
+			t.Fatalf("prefix %d has length %d", i, n)
+		}
+	}
+}
+
+func TestAssertRemarshalAcceptsIdentical(t *testing.T) {
+	AssertRemarshal(t, []byte{1, 2, 3}, []byte{1, 2, 3})
+	AssertRemarshal(t, nil, []byte{})
+}
