@@ -1,7 +1,7 @@
 # Tier-1 gate: everything must build, vet clean, and pass the full test
 # suite with the race detector on (the parallel experiment runner makes the
 # whole suite a concurrency test).
-.PHONY: check build vet test race bench bench-hotpath bench-save audit fuzz gencorpus
+.PHONY: check build vet test race bench bench-hotpath bench-save bench-compare audit fuzz gencorpus
 
 check: build vet race
 
@@ -63,3 +63,10 @@ bench-hotpath:
 bench-save:
 	go test -json -bench=. -benchmem > BENCH_$$(date +%Y%m%d).json
 	go test -json -run '^$$' -bench=Hotpath -benchmem . > BENCH_HOTPATH_$$(date +%Y%m%d).json
+
+# Perf drift gate: run the hot-path suite fresh and diff it against the
+# most recent archived BENCH_HOTPATH_*.json (cmd/benchcompare). Fails on
+# ns/op regressions beyond the tool's threshold or any allocs/op increase.
+bench-compare:
+	go test -json -run '^$$' -bench=Hotpath -benchmem . > /tmp/bench_hotpath_current.json
+	go run ./cmd/benchcompare /tmp/bench_hotpath_current.json

@@ -69,7 +69,7 @@ func BenchmarkHotpathSendDeliverTapped(b *testing.B) {
 		pkt.IP.TTL = netsim.DefaultTTL
 		n.Send(h1, pkt)
 		n.Sched.Run()
-		if len(s1.Records)+len(s2.Records) >= 4096 {
+		if s1.Len()+s2.Len() >= 4096 {
 			b.StopTimer()
 			s1.Clear()
 			s2.Clear()
@@ -130,6 +130,105 @@ func BenchmarkHotpathDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkHotpathDecodeInto parses wire bytes into a warm reused Packet —
+// capture's scratch decode for Filter evaluation (zero allocations once the
+// transport struct and payload buffer exist).
+func BenchmarkHotpathDecodeInto(b *testing.B) {
+	p := benchPacket(packet.MustParseAddr("10.2.0.2"))
+	p.IP.TTL = 64
+	wire := p.Marshal()
+	var dst packet.Packet
+	if err := packet.DecodeInto(&dst, wire); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := packet.DecodeInto(&dst, wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSniffer returns a sniffer pre-filled with n records across a few
+// flows, 1 ms apart, alternating direction — a small captured session for
+// the analysis benchmarks.
+func benchSniffer(n int) *capture.Sniffer {
+	recs := make([]capture.Record, 0, n)
+	for i := 0; i < n; i++ {
+		p := benchPacket(packet.MustParseAddr("10.2.0.2"))
+		p.IP.TTL = 64
+		p.IP.Src = packet.MustParseAddr("10.0.0.2")
+		p.UDP.SrcPort = uint16(1000 + i%4) // 4 flows
+		dir := netsim.DirUp
+		if i%2 == 1 {
+			dir = netsim.DirDown
+		}
+		recs = append(recs, capture.Record{
+			TS:   time.Duration(i) * time.Millisecond,
+			Dir:  dir,
+			Wire: p.Marshal(),
+		})
+	}
+	return capture.Restore(recs)
+}
+
+// BenchmarkHotpathCaptureBytes is a windowed filter-less byte count — the
+// index answers from the timestamp binary search plus cumulative
+// accumulators, without touching wire bytes.
+func BenchmarkHotpathCaptureBytes(b *testing.B) {
+	sn := benchSniffer(4096)
+	m := capture.MatchUp(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sn.Bytes(m, time.Second, 3*time.Second) == 0 {
+			b.Fatal("empty window")
+		}
+	}
+}
+
+// BenchmarkHotpathCaptureBytesFiltered is the same window with a Filter, so
+// every in-window record is decoded into the protocol scratch.
+func BenchmarkHotpathCaptureBytesFiltered(b *testing.B) {
+	sn := benchSniffer(4096)
+	m := capture.MatchUp(capture.FilterProto(packet.ProtoUDP))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sn.Bytes(m, time.Second, 3*time.Second) == 0 {
+			b.Fatal("empty window")
+		}
+	}
+}
+
+// BenchmarkHotpathCaptureSeries builds a 1-second-bucket throughput series
+// over the whole capture (the Figure 2/3 primitive).
+func BenchmarkHotpathCaptureSeries(b *testing.B) {
+	sn := benchSniffer(4096)
+	m := capture.MatchUp(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(sn.Series(m, 0, 4*time.Second, time.Second).Values) == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+// BenchmarkHotpathCaptureFlows groups the capture into flows straight from
+// the index's flow-key columns (no decode).
+func BenchmarkHotpathCaptureFlows(b *testing.B) {
+	sn := benchSniffer(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(sn.Flows(capture.Match{})) != 4 {
+			b.Fatal("flow count changed")
+		}
+	}
+}
+
 // BenchmarkHotpathObsHandle records through precomputed handles — the
 // per-packet metrics path after the conversion.
 func BenchmarkHotpathObsHandle(b *testing.B) {
@@ -171,7 +270,7 @@ func BenchmarkHotpathCaptureIngest(b *testing.B) {
 		pkt.IP.TTL = netsim.DefaultTTL
 		n.Send(h1, pkt)
 		n.Sched.Run()
-		if len(sn.Records) >= 4096 {
+		if sn.Len() >= 4096 {
 			b.StopTimer()
 			sn.Clear()
 			b.StartTimer()

@@ -1,0 +1,208 @@
+// Command benchcompare diffs a hot-path benchmark run against an archived
+// baseline and fails on perf regressions — the teeth behind the archived
+// BENCH_HOTPATH_*.json files that `make bench-save` produces.
+//
+// Usage:
+//
+//	benchcompare [flags] <current.json>
+//
+// where current.json is newline-delimited `go test -json` output of a
+// benchmark run (as bench-save writes). Flags:
+//
+//	-baseline F     baseline file (default: the lexicographically latest
+//	                BENCH_HOTPATH_*.json in the current directory — the
+//	                date-stamped names sort chronologically)
+//	-threshold P    ns/op regression tolerance as a fraction (default 0.25;
+//	                micro-benchmarks jitter, so the default is deliberately
+//	                loose — allocs/op has zero tolerance instead)
+//
+// Exit status 1 if any benchmark present in both runs got slower than the
+// threshold or allocates more per op; benchmarks that appear on only one
+// side are reported but never fail (suites grow).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark's measured line.
+type benchResult struct {
+	NsPerOp     float64
+	AllocsPerOp float64
+	HasAllocs   bool
+}
+
+// benchLine matches a testing benchmark result line. The -N suffix on the
+// name is the GOMAXPROCS marker (e.g. BenchmarkX-8) and is stripped so
+// runs from machines with different core counts still compare.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+var allocsField = regexp.MustCompile(`([0-9.]+) allocs/op`)
+
+// parseBenchJSON reads newline-delimited `go test -json` events and
+// extracts benchmark result lines from their Output payloads. A result
+// line is usually split across events (the runner flushes the name before
+// the measurement), so Output fragments are reassembled into full lines
+// before matching.
+func parseBenchJSON(r io.Reader) (map[string]benchResult, error) {
+	type event struct {
+		Action string `json:"Action"`
+		Output string `json:"Output"`
+	}
+	out := make(map[string]benchResult)
+	consume := func(line string) {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			return
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return
+		}
+		res := benchResult{NsPerOp: ns}
+		if am := allocsField.FindStringSubmatch(m[4]); am != nil {
+			res.AllocsPerOp, _ = strconv.ParseFloat(am[1], 64)
+			res.HasAllocs = true
+		}
+		out[m[1]] = res
+	}
+	pending := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("benchcompare: not go-test JSON: %w", err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		pending += ev.Output
+		for {
+			nl := strings.IndexByte(pending, '\n')
+			if nl < 0 {
+				break
+			}
+			consume(pending[:nl])
+			pending = pending[nl+1:]
+		}
+	}
+	consume(pending)
+	return out, sc.Err()
+}
+
+// compare returns human-readable report lines and whether any benchmark
+// regressed (slower than threshold, or more allocs/op).
+func compare(base, cur map[string]benchResult, threshold float64) (lines []string, regressed bool) {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := cur[name]
+		b, ok := base[name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("  new  %-44s %10.1f ns/op (no baseline)", name, c.NsPerOp))
+			continue
+		}
+		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		status := "ok  "
+		switch {
+		case c.HasAllocs && b.HasAllocs && c.AllocsPerOp > b.AllocsPerOp:
+			status = "FAIL"
+			regressed = true
+		case delta > threshold:
+			status = "FAIL"
+			regressed = true
+		}
+		line := fmt.Sprintf("  %s %-44s %10.1f -> %8.1f ns/op (%+.1f%%)", status, name, b.NsPerOp, c.NsPerOp, delta*100)
+		if c.HasAllocs && b.HasAllocs && c.AllocsPerOp != b.AllocsPerOp {
+			line += fmt.Sprintf(", %g -> %g allocs/op", b.AllocsPerOp, c.AllocsPerOp)
+		}
+		lines = append(lines, line)
+	}
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			lines = append(lines, fmt.Sprintf("  gone %s (in baseline only)", name))
+		}
+	}
+	return lines, regressed
+}
+
+// latestBaseline picks the lexicographically last BENCH_HOTPATH_*.json in
+// dir; the date-stamped filenames make that the most recent archive.
+func latestBaseline(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_HOTPATH_*.json"))
+	if err != nil || len(matches) == 0 {
+		return "", fmt.Errorf("benchcompare: no BENCH_HOTPATH_*.json baseline in %s (run `make bench-save` first)", dir)
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1], nil
+}
+
+func parseFile(path string) (map[string]benchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBenchJSON(f)
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline go-test JSON file (default: latest BENCH_HOTPATH_*.json here)")
+	threshold := flag.Float64("threshold", 0.25, "ns/op regression tolerance (fraction)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchcompare [-baseline file] [-threshold frac] <current.json>")
+		os.Exit(2)
+	}
+	basePath := *baseline
+	if basePath == "" {
+		var err error
+		if basePath, err = latestBaseline("."); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	base, err := parseFile(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcompare: no benchmark results in", flag.Arg(0))
+		os.Exit(2)
+	}
+	fmt.Printf("baseline: %s (%d benchmarks), current: %s (%d benchmarks), threshold %+.0f%%\n",
+		basePath, len(base), flag.Arg(0), len(cur), *threshold*100)
+	lines, regressed := compare(base, cur, *threshold)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if regressed {
+		fmt.Println("benchcompare: REGRESSION")
+		os.Exit(1)
+	}
+	fmt.Println("benchcompare: ok")
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// jsonRun fakes `go test -json` output for a set of benchmark lines.
+func jsonRun(t *testing.T, lines ...string) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`{"Action":"start","Package":"x"}` + "\n")
+	for _, l := range lines {
+		fmt.Fprintf(&b, `{"Action":"output","Package":"x","Output":"%s\n"}`+"\n", l)
+	}
+	b.WriteString(`{"Action":"pass","Package":"x"}` + "\n")
+	return b.String()
+}
+
+func TestParseBenchJSON(t *testing.T) {
+	in := jsonRun(t,
+		`BenchmarkHotpathSendDeliver-8   \t 9436048\t       230.9 ns/op\t       0 B/op\t       0 allocs/op`,
+		`BenchmarkHotpathDecode-8        \t15210854\t        77.54 ns/op\t      40 B/op\t       2 allocs/op`,
+		`BenchmarkNoAllocsColumn         \t     100\t      1000 ns/op`,
+		`ok  \tgithub.com/svrlab/svrlab\t8.251s`, // not a benchmark line
+	)
+	got, err := parseBenchJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped from names.
+	sd, ok := got["BenchmarkHotpathSendDeliver"]
+	if !ok {
+		t.Fatalf("suffix not stripped: %+v", got)
+	}
+	if sd.NsPerOp != 230.9 || !sd.HasAllocs || sd.AllocsPerOp != 0 {
+		t.Fatalf("SendDeliver = %+v", sd)
+	}
+	if d := got["BenchmarkHotpathDecode"]; d.NsPerOp != 77.54 || d.AllocsPerOp != 2 {
+		t.Fatalf("Decode = %+v", d)
+	}
+	if n := got["BenchmarkNoAllocsColumn"]; n.HasAllocs {
+		t.Fatalf("phantom allocs column: %+v", n)
+	}
+}
+
+func TestParseBenchJSONRejectsGarbage(t *testing.T) {
+	if _, err := parseBenchJSON(strings.NewReader("not json at all\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCompareFlagsSlowdown(t *testing.T) {
+	base := map[string]benchResult{"BenchmarkA": {NsPerOp: 100, HasAllocs: true}}
+	cur := map[string]benchResult{"BenchmarkA": {NsPerOp: 140, HasAllocs: true}}
+	if _, regressed := compare(base, cur, 0.25); !regressed {
+		t.Fatal("40% slowdown not flagged at 25% threshold")
+	}
+	if _, regressed := compare(base, cur, 0.50); regressed {
+		t.Fatal("40% slowdown flagged at 50% threshold")
+	}
+}
+
+func TestCompareFlagsAllocIncrease(t *testing.T) {
+	base := map[string]benchResult{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 0, HasAllocs: true}}
+	cur := map[string]benchResult{"BenchmarkA": {NsPerOp: 90, AllocsPerOp: 1, HasAllocs: true}}
+	if _, regressed := compare(base, cur, 0.25); !regressed {
+		t.Fatal("allocs/op increase not flagged despite ns/op improving")
+	}
+}
+
+func TestCompareToleratesNewAndGone(t *testing.T) {
+	base := map[string]benchResult{"BenchmarkOld": {NsPerOp: 100}}
+	cur := map[string]benchResult{"BenchmarkNew": {NsPerOp: 5000}}
+	lines, regressed := compare(base, cur, 0.25)
+	if regressed {
+		t.Fatal("suite growth flagged as regression")
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "BenchmarkNew") || !strings.Contains(joined, "BenchmarkOld") {
+		t.Fatalf("report missing new/gone entries:\n%s", joined)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	base := map[string]benchResult{"BenchmarkA": {NsPerOp: 405, AllocsPerOp: 2, HasAllocs: true}}
+	cur := map[string]benchResult{"BenchmarkA": {NsPerOp: 283, AllocsPerOp: 0, HasAllocs: true}}
+	if _, regressed := compare(base, cur, 0.25); regressed {
+		t.Fatal("improvement flagged as regression")
+	}
+}
+
+// TestParseBenchJSONSplitLines: the real runner flushes the benchmark name
+// in one output event and the measurements in the next — fragments must be
+// reassembled before matching.
+func TestParseBenchJSONSplitLines(t *testing.T) {
+	in := jsonRun(t,
+		`=== RUN   BenchmarkHotpathSendDeliver`,
+		`BenchmarkHotpathSendDeliver`,
+	) +
+		`{"Action":"output","Package":"x","Output":"BenchmarkHotpathSendDeliver-8   \t"}` + "\n" +
+		`{"Action":"output","Package":"x","Output":" 4727899\t       249.8 ns/op\t       0 B/op\t       0 allocs/op\n"}` + "\n"
+	got, err := parseBenchJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := got["BenchmarkHotpathSendDeliver"]
+	if !ok {
+		t.Fatalf("split line not reassembled: %+v", got)
+	}
+	if res.NsPerOp != 249.8 || !res.HasAllocs || res.AllocsPerOp != 0 {
+		t.Fatalf("reassembled result = %+v", res)
+	}
+}

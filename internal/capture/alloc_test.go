@@ -1,0 +1,99 @@
+package capture
+
+import (
+	"testing"
+	"time"
+
+	"github.com/svrlab/svrlab/internal/netsim"
+	"github.com/svrlab/svrlab/internal/packet"
+)
+
+func allocTestWire() []byte {
+	p := &packet.Packet{
+		IP:      packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: 1, Dst: 2},
+		UDP:     &packet.UDP{SrcPort: 1000, DstPort: 2000},
+		Payload: make([]byte, 32),
+	}
+	return p.Marshal()
+}
+
+// TestIngestAmortizedAllocFree: the tapped fast path must not allocate per
+// packet. Chunk rotation draws from the pool and column growth is amortized
+// (and absent here: the warm-up fill leaves enough capacity), so the
+// per-ingest average must be ~0. The small threshold absorbs a GC emptying
+// the chunk pool mid-run.
+func TestIngestAmortizedAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode drops sync.Pool puts; alloc bound only holds without -race")
+	}
+	wire := allocTestWire()
+	s := NewSniffer()
+	for i := 0; i < 8192; i++ { // warm up columns and seed the chunk pool
+		s.ingest(time.Duration(i), netsim.DirUp, wire)
+	}
+	s.Clear()
+	at := time.Duration(0)
+	allocs := testing.AllocsPerRun(5000, func() {
+		at += time.Microsecond
+		s.ingest(at, netsim.DirUp, wire)
+	})
+	if allocs > 0.02 {
+		t.Fatalf("ingest allocates %.4f per packet, want amortized 0", allocs)
+	}
+}
+
+// TestFillClearCycleAllocFree: a long session alternating capture phases
+// with Clear must reach a steady state where a whole fill+Clear cycle
+// allocates nothing — chunks cycle through the pool and the index columns
+// keep their capacity. This is the regression test for Clear retaining
+// (or worse, leaking) capture memory per cycle.
+func TestFillClearCycleAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode drops sync.Pool puts; alloc bound only holds without -race")
+	}
+	wire := allocTestWire()
+	s := NewSniffer()
+	cycle := func() {
+		for i := 0; i < 2048; i++ {
+			s.ingest(time.Duration(i), netsim.DirDown, wire)
+		}
+		s.Clear()
+	}
+	cycle() // warm up pool and column capacity
+	allocs := testing.AllocsPerRun(20, cycle)
+	if allocs > 0.5 { // ~2048 ingests per run; even one alloc/packet would be ~2048
+		t.Fatalf("fill+clear cycle allocates %.2f per cycle, want ~0", allocs)
+	}
+}
+
+// TestFilterQueryAllocFree: repeated filtered queries decode through the
+// per-protocol scratch — steady-state zero allocations even over
+// mixed-protocol traffic (the scratch is per protocol class, so
+// interleaving does not thrash one shared packet's transport structs).
+func TestFilterQueryAllocFree(t *testing.T) {
+	s := NewSniffer()
+	udp := allocTestWire()
+	tcpPkt := &packet.Packet{
+		IP:      packet.IPv4{TTL: 64, Protocol: packet.ProtoTCP, Src: 3, Dst: 4},
+		TCP:     &packet.TCP{SrcPort: 443, DstPort: 5000, Flags: packet.FlagACK, Window: 100},
+		Payload: make([]byte, 64),
+	}
+	tcp := tcpPkt.Marshal()
+	for i := 0; i < 512; i++ {
+		w := udp
+		if i%2 == 1 {
+			w = tcp
+		}
+		s.ingest(time.Duration(i)*time.Millisecond, netsim.DirUp, w)
+	}
+	m := Match{Filter: FilterProto(packet.ProtoTCP)}
+	want := s.Bytes(m, 0, time.Hour) // warm the scratch packets
+	allocs := testing.AllocsPerRun(100, func() {
+		if got := s.Bytes(m, 0, time.Hour); got != want {
+			t.Errorf("Bytes = %d, want %d", got, want)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("filtered Bytes allocates %.2f per query, want 0", allocs)
+	}
+}

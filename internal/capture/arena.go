@@ -1,0 +1,66 @@
+package capture
+
+import "sync"
+
+// The capture arena: wire bytes live in fixed-size chunks drawn from a
+// process-wide pool. A record's bytes never span chunks, so an (chunk,
+// offset, length) triple in the index addresses them directly. Chunks are
+// sliced to their fill level; the pool keeps cleared sniffers from pinning
+// capture memory (chunks handed back are reused by any sniffer, and the
+// pool itself is GC-collectable, unlike a sniffer-local free list).
+
+// chunkSize is 64 KiB: larger than any marshalable frame (the IPv4
+// total-length field caps wire images at 65535 bytes), so the
+// one-record-per-chunk fallback below is reachable only through foreign
+// inputs, never through a tap.
+const chunkSize = 64 << 10
+
+var chunkPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, chunkSize)
+	return &b
+}}
+
+// arena is a chunked append-only byte store. pooled holds, per chunk, the
+// *[]byte handle the pool handed out (nil for oversized chunks) — release
+// returns that same pointer, so a fill/clear cycle allocates no fresh
+// handle headers.
+type arena struct {
+	chunks [][]byte
+	pooled []*[]byte
+}
+
+// append copies wire into the arena and returns its (chunk, offset)
+// position. Amortized zero allocations: the copy lands in the current
+// chunk's spare capacity, and chunk rotation draws from the pool.
+func (a *arena) append(wire []byte) (chunk, off uint32) {
+	last := len(a.chunks) - 1
+	if last < 0 || cap(a.chunks[last])-len(a.chunks[last]) < len(wire) {
+		if len(wire) > chunkSize {
+			// Oversized record: a dedicated exact-size chunk, dropped (not
+			// pooled) at Clear so the pool stays uniform.
+			a.chunks = append(a.chunks, make([]byte, 0, len(wire)))
+			a.pooled = append(a.pooled, nil)
+		} else {
+			p := chunkPool.Get().(*[]byte)
+			a.chunks = append(a.chunks, (*p)[:0])
+			a.pooled = append(a.pooled, p)
+		}
+		last++
+	}
+	c := a.chunks[last]
+	off = uint32(len(c))
+	a.chunks[last] = append(c, wire...)
+	return uint32(last), off
+}
+
+// release returns every pooled chunk to the pool and drops the rest.
+func (a *arena) release() {
+	for _, p := range a.pooled {
+		if p != nil {
+			*p = (*p)[:0]
+			chunkPool.Put(p)
+		}
+	}
+	a.chunks = a.chunks[:0]
+	a.pooled = a.pooled[:0]
+}

@@ -2,6 +2,17 @@
 // at a host's access point (the paper taps the WiFi APs), decodes them into
 // layers on demand, groups them into flows, and produces the per-interval
 // throughput series that Figures 2, 3, 6, 12 and 13 are built from.
+//
+// Internally a Sniffer is an arena plus an index (DESIGN §4.11): wire bytes
+// are appended into pooled fixed-size chunks, and per-record metadata —
+// virtual timestamp, direction, arena position, and a compact flow key
+// extracted from the header bytes at tap time — lives in parallel flat
+// slices instead of a pointer-bearing record slice. Ingesting a packet is an
+// arena copy plus a handful of column appends (amortized zero allocations),
+// and analysis runs over the columns, decoding full packets only for the
+// records a user-supplied Filter actually inspects — through a per-protocol
+// scratch Packet filled by packet.DecodeInto, so repeated queries allocate
+// nothing and never re-decode what the index already answers.
 package capture
 
 import (
@@ -13,12 +24,20 @@ import (
 	"github.com/svrlab/svrlab/internal/stats"
 )
 
-// Record is one captured packet.
+// Record is one captured packet, materialized as a view over the sniffer's
+// arena and index (Sniffer.At), or as a standalone value (pcap restore,
+// tests). For sniffer-backed views, Wire aliases arena memory: it is valid
+// until the sniffer's next Clear, and must be copied to outlive it.
 type Record struct {
 	TS   time.Duration
 	Dir  netsim.Dir
 	Wire []byte
-	// pkt is the lazily-decoded form (gopacket-style lazy decoding).
+	// sn/idx tie a view record back to its sniffer so decode results land
+	// in the sniffer's cache (views are ephemeral values; the cache is not).
+	sn  *Sniffer
+	idx int
+	// pkt is the lazily-decoded form for standalone records
+	// (gopacket-style lazy decoding).
 	pkt *packet.Packet
 	// undecodable caches a failed decode so malformed wire bytes are
 	// parsed at most once, however often analysis revisits the record.
@@ -26,7 +45,12 @@ type Record struct {
 }
 
 // Packet decodes the record (cached). Undecodable records return nil.
+// Sniffer-backed records cache the decode in the sniffer, so repeated At
+// calls for the same index return the same *Packet; Clear drops the cache.
 func (r *Record) Packet() *packet.Packet {
+	if r.sn != nil {
+		return r.sn.cachedPacket(r.idx)
+	}
 	if r.pkt == nil && !r.undecodable {
 		p, err := packet.Decode(r.Wire)
 		if err != nil {
@@ -38,22 +62,191 @@ func (r *Record) Packet() *packet.Packet {
 	return r.pkt
 }
 
-// Sniffer captures traffic at one host's access point.
+// recMeta bits: direction and tap-time classification outcome.
+const (
+	metaDown  uint8 = 1 << 0 // network -> host (absent: host -> network)
+	metaValid uint8 = 1 << 1 // packet.PeekFlow accepted the wire bytes
+)
+
+// recPos addresses a record's wire bytes inside the arena.
+type recPos struct {
+	chunk, off, wlen uint32
+}
+
+// recKey is the compact flow key extracted at tap time from header bytes —
+// enough for Flows, RemoteEndpoints and protocol grouping without a decode.
+type recKey struct {
+	src, dst     packet.Addr
+	sport, dport uint16
+	proto        packet.Proto
+}
+
+// recCum is the per-direction byte/packet accumulator maintained at tap
+// time: cumulative totals up to (and including) a record, stored with a
+// leading zero sentinel so any [lo,hi) index span answers Bytes/Packets in
+// O(1) after the timestamp binary search, for every query without a Filter.
+type recCum struct {
+	bytes, upBytes int64
+	upPkts         int32
+}
+
+// Sniffer captures traffic at one host's access point. It is not safe for
+// concurrent use: a sniffer belongs to one sweep cell, like the lab it taps
+// (the §4.6 cell-isolation contract).
 type Sniffer struct {
-	Records []Record
-	active  bool
+	active bool
+
+	// Struct-of-arrays record index, one entry per captured packet (cum
+	// has one extra sentinel entry). Grouping the columns that are written
+	// together keeps ingest at five slice appends per packet.
+	ts   []time.Duration
+	meta []uint8
+	pos  []recPos
+	key  []recKey
+	cum  []recCum
+
+	// arena holds the wire bytes the index points into.
+	arena arena
+
+	// pkts is the decoded-packet cache behind the Record view API,
+	// allocated lazily on first use and dropped by Clear.
+	pkts []*packet.Packet
+
+	// scratch holds one reusable decode target per protocol class for
+	// Filter evaluation, so filtering same-protocol runs of traffic
+	// allocates nothing (packet.DecodeInto reuses the transport struct and
+	// payload capacity). Scratch packets never escape: filters see them
+	// only for the duration of the callback.
+	scratch [4]packet.Packet
+}
+
+// NewSniffer returns an unattached sniffer (records are added by taps, or
+// by tests via ingest).
+func NewSniffer() *Sniffer {
+	return &Sniffer{active: true, cum: make([]recCum, 1, 64)}
+}
+
+// Restore builds a sniffer over standalone records — the pcap re-analysis
+// path (ReadPcap output). Each record's wire bytes are copied into the
+// arena and re-classified exactly as a live tap would have.
+func Restore(records []Record) *Sniffer {
+	s := NewSniffer()
+	for i := range records {
+		s.ingest(records[i].TS, records[i].Dir, records[i].Wire)
+	}
+	return s
 }
 
 // Attach taps a host and starts capturing immediately.
 func Attach(h *netsim.Host) *Sniffer {
-	s := &Sniffer{active: true}
-	h.Tap(func(at time.Duration, dir netsim.Dir, wire []byte) {
-		if !s.active {
-			return
-		}
-		s.Records = append(s.Records, Record{TS: at, Dir: dir, Wire: append([]byte(nil), wire...)})
-	})
+	s := NewSniffer()
+	h.Tap(s.ingest)
 	return s
+}
+
+// ingest appends one record: wire bytes into the arena, metadata and the
+// tap-time flow key into the index columns, and the cumulative accumulators.
+// This is the tapped fast path (it is the TapFunc Attach registers) —
+// amortized zero allocations per packet (chunk rotation and column growth
+// amortize; Clear recycles both).
+func (s *Sniffer) ingest(at time.Duration, dir netsim.Dir, wire []byte) {
+	if !s.active {
+		return
+	}
+	ci, off := s.arena.append(wire)
+	fl, ok := packet.PeekFlow(wire)
+	m := uint8(0)
+	if dir == netsim.DirDown {
+		m = metaDown
+	}
+	if ok {
+		m |= metaValid
+	}
+	c := s.cum[len(s.cum)-1]
+	c.bytes += int64(len(wire))
+	if dir == netsim.DirUp {
+		c.upBytes += int64(len(wire))
+		c.upPkts++
+	}
+	s.ts = append(s.ts, at)
+	s.meta = append(s.meta, m)
+	s.pos = append(s.pos, recPos{chunk: ci, off: off, wlen: uint32(len(wire))})
+	s.key = append(s.key, recKey{src: fl.Src.Addr, dst: fl.Dst.Addr, sport: fl.Src.Port, dport: fl.Dst.Port, proto: fl.Proto})
+	s.cum = append(s.cum, c)
+}
+
+// dirAt reads record i's direction from the meta column.
+func (s *Sniffer) dirAt(i int) netsim.Dir {
+	if s.meta[i]&metaDown != 0 {
+		return netsim.DirDown
+	}
+	return netsim.DirUp
+}
+
+// Len returns the number of captured records.
+func (s *Sniffer) Len() int { return len(s.ts) }
+
+// At materializes a view of record i. The view's Wire aliases the arena and
+// is invalidated by Clear; its Packet method caches decodes in the sniffer.
+func (s *Sniffer) At(i int) Record {
+	return Record{TS: s.ts[i], Dir: s.dirAt(i), Wire: s.wireAt(i), sn: s, idx: i}
+}
+
+func (s *Sniffer) wireAt(i int) []byte {
+	p := s.pos[i]
+	return s.arena.chunks[p.chunk][p.off : p.off+p.wlen : p.off+p.wlen]
+}
+
+// cachedPacket decodes record i into the sniffer's decoded-packet cache
+// (fresh heap packet, stable pointer across calls). Records whose tap-time
+// classification failed are undecodable by construction and return nil
+// without re-running the decoder.
+func (s *Sniffer) cachedPacket(i int) *packet.Packet {
+	if s.meta[i]&metaValid == 0 {
+		return nil
+	}
+	if s.pkts == nil {
+		s.pkts = make([]*packet.Packet, s.Len())
+	}
+	for len(s.pkts) < s.Len() { // records ingested since the cache was made
+		s.pkts = append(s.pkts, nil)
+	}
+	if s.pkts[i] == nil {
+		p, err := packet.Decode(s.wireAt(i))
+		if err != nil {
+			return nil // unreachable while PeekFlow mirrors Decode
+		}
+		s.pkts[i] = p
+	}
+	return s.pkts[i]
+}
+
+// scratchPacket decodes record i into the per-protocol scratch for a
+// Filter callback — zero allocations in steady state. Returns the cached
+// heap packet instead when the view API already decoded this record.
+func (s *Sniffer) scratchPacket(i int) *packet.Packet {
+	if s.meta[i]&metaValid == 0 {
+		return nil
+	}
+	if s.pkts != nil && i < len(s.pkts) && s.pkts[i] != nil {
+		return s.pkts[i]
+	}
+	var k int
+	switch s.key[i].proto {
+	case packet.ProtoUDP:
+		k = 0
+	case packet.ProtoTCP:
+		k = 1
+	case packet.ProtoICMP:
+		k = 2
+	default:
+		k = 3
+	}
+	sc := &s.scratch[k]
+	if packet.DecodeInto(sc, s.wireAt(i)) != nil {
+		return nil // unreachable while PeekFlow mirrors Decode
+	}
+	return sc
 }
 
 // Pause stops recording (the tap stays installed).
@@ -62,15 +255,20 @@ func (s *Sniffer) Pause() { s.active = false }
 // Resume restarts recording.
 func (s *Sniffer) Resume() { s.active = true }
 
-// Clear discards captured records. The elements are zeroed before the
-// slice is truncated so the retained backing array does not pin every
-// captured wire buffer and decoded packet (long sessions clear between
-// measurement phases and would otherwise hold the whole history live).
+// Clear discards captured records: arena chunks go back to the shared pool,
+// the decoded-packet cache is dropped, and the index columns are truncated
+// in place (capacity retained, so a long session clearing between
+// measurement phases re-captures without reallocating its index). After
+// Clear, previously obtained Record views and scratch packets are invalid —
+// their Wire/Payload alias recycled chunks.
 func (s *Sniffer) Clear() {
-	for i := range s.Records {
-		s.Records[i] = Record{}
-	}
-	s.Records = s.Records[:0]
+	s.arena.release()
+	s.pkts = nil
+	s.ts = s.ts[:0]
+	s.meta = s.meta[:0]
+	s.pos = s.pos[:0]
+	s.key = s.key[:0]
+	s.cum = s.cum[:1] // keep the zero sentinel
 }
 
 // Match selects packets for analysis. Either field may be zero-valued to
@@ -79,7 +277,10 @@ type Match struct {
 	// Dir restricts direction when DirSet is true.
 	Dir    netsim.Dir
 	DirSet bool
-	// Filter, when non-nil, must accept the decoded packet.
+	// Filter, when non-nil, must accept the decoded packet. The *Packet a
+	// filter receives may be a reused scratch value: it is valid only for
+	// the duration of the callback and must not be retained, and filters
+	// must not re-enter the sniffer that invoked them.
 	Filter func(*packet.Packet) bool
 }
 
@@ -136,35 +337,78 @@ func (m Match) accepts(r *Record) bool {
 	return true
 }
 
+// acceptsIdx is the index-driven accepts: direction from the dirs column,
+// decode (into scratch) only when a Filter has to see payload.
+func (s *Sniffer) acceptsIdx(i int, m Match) bool {
+	if m.DirSet && s.dirAt(i) != m.Dir {
+		return false
+	}
+	if m.Filter != nil {
+		p := s.scratchPacket(i)
+		if p == nil || !m.Filter(p) {
+			return false
+		}
+	}
+	return true
+}
+
 // span binary-searches the [lo, hi) record index range whose timestamps
 // fall in [from, to). Records are appended in nondecreasing timestamp
 // order (the tap runs on the scheduler, whose clock is monotonic), so
 // window queries never need to scan outside the span.
 func (s *Sniffer) span(from, to time.Duration) (lo, hi int) {
-	lo = sort.Search(len(s.Records), func(i int) bool { return s.Records[i].TS >= from })
-	hi = sort.Search(len(s.Records), func(i int) bool { return s.Records[i].TS >= to })
+	lo = sort.Search(len(s.ts), func(i int) bool { return s.ts[i] >= from })
+	hi = sort.Search(len(s.ts), func(i int) bool { return s.ts[i] >= to })
 	return lo, hi
 }
 
-// Bytes sums wire bytes of matching records in [from, to).
+// Bytes sums wire bytes of matching records in [from, to). Without a
+// Filter this is answered from the accumulator columns in O(log records).
 func (s *Sniffer) Bytes(m Match, from, to time.Duration) int {
-	total := 0
 	lo, hi := s.span(from, to)
+	if lo >= hi {
+		return 0
+	}
+	if m.Filter == nil {
+		total := s.cum[hi].bytes - s.cum[lo].bytes
+		if !m.DirSet {
+			return int(total)
+		}
+		up := s.cum[hi].upBytes - s.cum[lo].upBytes
+		if m.Dir == netsim.DirUp {
+			return int(up)
+		}
+		return int(total - up)
+	}
+	total := 0
 	for i := lo; i < hi; i++ {
-		r := &s.Records[i]
-		if m.accepts(r) {
-			total += len(r.Wire)
+		if s.acceptsIdx(i, m) {
+			total += int(s.pos[i].wlen)
 		}
 	}
 	return total
 }
 
-// Packets counts matching records in [from, to).
+// Packets counts matching records in [from, to). Without a Filter this is
+// answered from the accumulator columns in O(log records).
 func (s *Sniffer) Packets(m Match, from, to time.Duration) int {
-	n := 0
 	lo, hi := s.span(from, to)
+	if lo >= hi {
+		return 0
+	}
+	if m.Filter == nil {
+		if !m.DirSet {
+			return hi - lo
+		}
+		up := int(s.cum[hi].upPkts - s.cum[lo].upPkts)
+		if m.Dir == netsim.DirUp {
+			return up
+		}
+		return hi - lo - up
+	}
+	n := 0
 	for i := lo; i < hi; i++ {
-		if m.accepts(&s.Records[i]) {
+		if s.acceptsIdx(i, m) {
 			n++
 		}
 	}
@@ -181,13 +425,12 @@ func (s *Sniffer) Series(m Match, from, to, bucket time.Duration) stats.TimeSeri
 	vals := make([]float64, n)
 	lo, hi := s.span(from, to)
 	for i := lo; i < hi; i++ {
-		r := &s.Records[i]
-		if !m.accepts(r) {
+		if !s.acceptsIdx(i, m) {
 			continue
 		}
-		idx := int((r.TS - from) / bucket)
+		idx := int((s.ts[i] - from) / bucket)
 		if idx >= 0 && idx < n {
-			vals[idx] += float64(len(r.Wire) * 8)
+			vals[idx] += float64(s.pos[i].wlen * 8)
 		}
 	}
 	scale := bucket.Seconds()
@@ -216,30 +459,32 @@ type FlowStat struct {
 
 // Flows groups matching records by symmetric flow hash, merging the two
 // directions of each conversation (gopacket's symmetric FastHash pattern).
+// The flow keys come from the index columns — no decoding happens unless
+// the match carries a Filter.
 func (s *Sniffer) Flows(m Match) []*FlowStat {
 	byHash := make(map[uint64]*FlowStat)
 	var order []uint64
-	for i := range s.Records {
-		r := &s.Records[i]
-		if !m.accepts(r) {
+	for i := 0; i < s.Len(); i++ {
+		if s.meta[i]&metaValid == 0 || !s.acceptsIdx(i, m) {
 			continue
 		}
-		p := r.Packet()
-		if p == nil {
-			continue
+		k := s.key[i]
+		fl := packet.Flow{
+			Proto: k.proto,
+			Src:   packet.Endpoint{Addr: k.src, Port: k.sport},
+			Dst:   packet.Endpoint{Addr: k.dst, Port: k.dport},
 		}
-		fl := packet.FlowOf(p)
 		h := fl.FastHash()
 		st, ok := byHash[h]
 		if !ok {
-			st = &FlowStat{Flow: fl, First: r.TS}
+			st = &FlowStat{Flow: fl, First: s.ts[i]}
 			byHash[h] = st
 			order = append(order, h)
 		}
 		st.Packets++
-		st.Bytes += len(r.Wire)
-		st.Last = r.TS
-		if r.Dir == netsim.DirUp {
+		st.Bytes += int(s.pos[i].wlen)
+		st.Last = s.ts[i]
+		if s.meta[i]&metaDown == 0 {
 			st.UpPkts++
 		} else {
 			st.DnPkts++
@@ -253,18 +498,18 @@ func (s *Sniffer) Flows(m Match) []*FlowStat {
 }
 
 // RemoteEndpoints lists the distinct far-end addresses seen, in first-seen
-// order — the server-discovery step of §4.
+// order — the server-discovery step of §4. Pure column scan: the far end
+// is the flow key's destination on uplink, source on downlink.
 func (s *Sniffer) RemoteEndpoints(local packet.Addr) []packet.Addr {
 	seen := make(map[packet.Addr]bool)
 	var out []packet.Addr
-	for i := range s.Records {
-		p := s.Records[i].Packet()
-		if p == nil {
+	for i := 0; i < s.Len(); i++ {
+		if s.meta[i]&metaValid == 0 {
 			continue
 		}
-		remote := p.IP.Dst
-		if s.Records[i].Dir == netsim.DirDown {
-			remote = p.IP.Src
+		remote := s.key[i].dst
+		if s.meta[i]&metaDown != 0 {
+			remote = s.key[i].src
 		}
 		if remote == local || seen[remote] {
 			continue

@@ -54,18 +54,20 @@ func TestCaptureRecordsBothDirections(t *testing.T) {
 	r.sendUDP(time.Second, 100)
 	r.sendTCPDown(2*time.Second, 200)
 	r.s.Run()
-	if len(r.sniff.Records) != 2 {
-		t.Fatalf("records = %d, want 2", len(r.sniff.Records))
+	if r.sniff.Len() != 2 {
+		t.Fatalf("records = %d, want 2", r.sniff.Len())
 	}
-	if r.sniff.Records[0].Dir != netsim.DirUp || r.sniff.Records[1].Dir != netsim.DirDown {
+	if r.sniff.At(0).Dir != netsim.DirUp || r.sniff.At(1).Dir != netsim.DirDown {
 		t.Fatal("directions wrong")
 	}
-	p := r.sniff.Records[0].Packet()
+	rec := r.sniff.At(0)
+	p := rec.Packet()
 	if p == nil || p.UDP == nil {
 		t.Fatal("decode failed")
 	}
-	// Cached decode returns the same pointer.
-	if p != r.sniff.Records[0].Packet() {
+	// Cached decode returns the same pointer, even across fresh views.
+	again := r.sniff.At(0)
+	if p != rec.Packet() || p != again.Packet() {
 		t.Fatal("decode not cached")
 	}
 }
@@ -80,11 +82,11 @@ func TestPauseResumeClear(t *testing.T) {
 	r.sniff.Resume()
 	r.sendUDP(200*time.Second, 10)
 	r.s.Run()
-	if len(r.sniff.Records) != 2 {
-		t.Fatalf("records = %d, want 2 (paused period excluded)", len(r.sniff.Records))
+	if r.sniff.Len() != 2 {
+		t.Fatalf("records = %d, want 2 (paused period excluded)", r.sniff.Len())
 	}
 	r.sniff.Clear()
-	if len(r.sniff.Records) != 0 {
+	if r.sniff.Len() != 0 {
 		t.Fatal("Clear left records")
 	}
 }
@@ -218,22 +220,36 @@ func mkWire(payload int) []byte {
 }
 
 func TestUndecodableRecordCachesFailure(t *testing.T) {
-	s := &Sniffer{Records: []Record{{TS: 0, Wire: []byte{0xde, 0xad}}}}
-	r := &s.Records[0]
-	if r.Packet() != nil {
+	s := NewSniffer()
+	s.ingest(0, netsim.DirUp, []byte{0xde, 0xad})
+	bad := s.At(0)
+	if bad.Packet() != nil {
 		t.Fatal("garbage wire decoded")
 	}
-	// The failure must be cached: swap in decodable bytes and confirm
-	// Packet does not re-run the decoder on a known-bad record.
-	r.Wire = mkWire(10)
-	if r.Packet() != nil {
+	// The failure is cached at ingest (the tap-time classification): the
+	// validity column marks the record undecodable, so Packet never runs
+	// the decoder for it, and no decoded-packet cache is materialized.
+	if bad.Packet() != nil {
 		t.Fatal("decode re-attempted after a cached failure")
 	}
-	// A fresh record with the same bytes decodes fine (the cache is
+	if s.pkts != nil {
+		t.Fatal("undecodable record materialized the decode cache")
+	}
+	// A fresh record with valid bytes decodes fine (the cache is
 	// per-record, not global).
-	fresh := Record{TS: 0, Wire: mkWire(10)}
-	if fresh.Packet() == nil {
+	s.ingest(0, netsim.DirUp, mkWire(10))
+	good := s.At(1)
+	if good.Packet() == nil {
 		t.Fatal("valid wire failed to decode")
+	}
+	// A standalone record (pcap restore path) behaves the same way.
+	standalone := Record{TS: 0, Wire: []byte{0xde, 0xad}}
+	if standalone.Packet() != nil {
+		t.Fatal("standalone garbage wire decoded")
+	}
+	standalone.Wire = mkWire(10)
+	if standalone.Packet() != nil {
+		t.Fatal("standalone record re-ran a cached failed decode")
 	}
 }
 
@@ -242,27 +258,34 @@ func TestClearReleasesCapturedMemory(t *testing.T) {
 	r.sendUDP(time.Second, 100)
 	r.sendTCPDown(2*time.Second, 50)
 	r.s.Run()
-	if len(r.sniff.Records) != 2 {
-		t.Fatalf("records = %d", len(r.sniff.Records))
+	if r.sniff.Len() != 2 {
+		t.Fatalf("records = %d", r.sniff.Len())
 	}
-	// Decode one so both wire bytes and a decoded packet are held.
-	if r.sniff.Records[0].Packet() == nil {
+	// Decode one so both arena chunks and a decoded packet are held.
+	first := r.sniff.At(0)
+	if first.Packet() == nil {
 		t.Fatal("decode failed")
 	}
-	backing := r.sniff.Records[:2]
+	if len(r.sniff.arena.chunks) == 0 || r.sniff.pkts == nil {
+		t.Fatal("capture did not populate arena/decode cache")
+	}
 	r.sniff.Clear()
-	for i := range backing {
-		if backing[i].Wire != nil || backing[i].pkt != nil {
-			t.Fatalf("Clear pinned record %d in the retained backing array", i)
-		}
+	// Clear must release everything that pins capture memory: the arena
+	// chunks go back to the pool and the decoded-packet cache is dropped.
+	if len(r.sniff.arena.chunks) != 0 {
+		t.Fatalf("Clear retained %d arena chunks", len(r.sniff.arena.chunks))
+	}
+	if r.sniff.pkts != nil {
+		t.Fatal("Clear retained the decoded-packet cache")
 	}
 	// The sniffer keeps capturing after Clear.
 	r.sendUDP(3*time.Second, 25)
 	r.s.Run()
-	if len(r.sniff.Records) != 1 {
-		t.Fatalf("post-Clear records = %d, want 1", len(r.sniff.Records))
+	if r.sniff.Len() != 1 {
+		t.Fatalf("post-Clear records = %d, want 1", r.sniff.Len())
 	}
-	if p := r.sniff.Records[0].Packet(); p == nil || p.UDP == nil {
+	post := r.sniff.At(0)
+	if p := post.Packet(); p == nil || p.UDP == nil {
 		t.Fatal("post-Clear record did not decode")
 	}
 }
@@ -272,10 +295,10 @@ func TestClearReleasesCapturedMemory(t *testing.T) {
 // timestamps, and out-of-range windows.
 func TestWindowQueriesMatchFullScanOracle(t *testing.T) {
 	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
-	s := &Sniffer{}
+	s := NewSniffer()
 	// Nondecreasing timestamps with duplicates sitting exactly on window
 	// and bucket edges.
-	for i, spec := range []struct {
+	for _, spec := range []struct {
 		ts  time.Duration
 		dir netsim.Dir
 		pay int
@@ -289,15 +312,14 @@ func TestWindowQueriesMatchFullScanOracle(t *testing.T) {
 		{ms(30), netsim.DirUp, 70},
 		{ms(100), netsim.DirDown, 80},
 	} {
-		_ = i
-		s.Records = append(s.Records, Record{TS: spec.ts, Dir: spec.dir, Wire: mkWire(spec.pay)})
+		s.ingest(spec.ts, spec.dir, mkWire(spec.pay))
 	}
 
 	oracleBytes := func(m Match, from, to time.Duration) int {
 		total := 0
-		for i := range s.Records {
-			r := &s.Records[i]
-			if r.TS >= from && r.TS < to && m.accepts(r) {
+		for i := 0; i < s.Len(); i++ {
+			r := s.At(i)
+			if r.TS >= from && r.TS < to && m.accepts(&r) {
 				total += len(r.Wire)
 			}
 		}
@@ -305,9 +327,9 @@ func TestWindowQueriesMatchFullScanOracle(t *testing.T) {
 	}
 	oraclePackets := func(m Match, from, to time.Duration) int {
 		n := 0
-		for i := range s.Records {
-			r := &s.Records[i]
-			if r.TS >= from && r.TS < to && m.accepts(r) {
+		for i := 0; i < s.Len(); i++ {
+			r := s.At(i)
+			if r.TS >= from && r.TS < to && m.accepts(&r) {
 				n++
 			}
 		}

@@ -23,11 +23,7 @@ const (
 
 var errPcapRecord = errors.New("capture: record not representable in pcap")
 
-// WritePcap serializes records to w in libpcap format. Records with a
-// negative timestamp, a timestamp whose seconds overflow the 32-bit pcap
-// field, or a wire image over the snap length cannot be represented and
-// return an error instead of writing silently truncated fields.
-func WritePcap(w io.Writer, records []Record) error {
+func writePcapHeader(w io.Writer) error {
 	hdr := make([]byte, 24)
 	binary.LittleEndian.PutUint32(hdr[0:], pcapMagic)
 	binary.LittleEndian.PutUint16(hdr[4:], pcapVMajor)
@@ -35,32 +31,57 @@ func WritePcap(w io.Writer, records []Record) error {
 	// thiszone=0, sigfigs=0
 	binary.LittleEndian.PutUint32(hdr[16:], maxSnapLen)
 	binary.LittleEndian.PutUint32(hdr[20:], linktypeRaw)
-	if _, err := w.Write(hdr); err != nil {
+	_, err := w.Write(hdr)
+	return err
+}
+
+func writePcapRecord(w io.Writer, rec []byte, ts time.Duration, wire []byte) error {
+	usec := ts.Microseconds()
+	if usec < 0 || usec/1_000_000 > 0xffffffff || len(wire) > maxSnapLen {
+		return errPcapRecord
+	}
+	binary.LittleEndian.PutUint32(rec[0:], uint32(usec/1_000_000))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(usec%1_000_000))
+	binary.LittleEndian.PutUint32(rec[8:], uint32(len(wire)))
+	binary.LittleEndian.PutUint32(rec[12:], uint32(len(wire)))
+	if _, err := w.Write(rec); err != nil {
+		return err
+	}
+	_, err := w.Write(wire)
+	return err
+}
+
+// WritePcap serializes records to w in libpcap format. Records with a
+// negative timestamp, a timestamp whose seconds overflow the 32-bit pcap
+// field, or a wire image over the snap length cannot be represented and
+// return an error instead of writing silently truncated fields.
+func WritePcap(w io.Writer, records []Record) error {
+	if err := writePcapHeader(w); err != nil {
 		return err
 	}
 	rec := make([]byte, 16)
 	for i := range records {
-		r := &records[i]
-		usec := r.TS.Microseconds()
-		if usec < 0 || usec/1_000_000 > 0xffffffff || len(r.Wire) > maxSnapLen {
-			return errPcapRecord
-		}
-		binary.LittleEndian.PutUint32(rec[0:], uint32(usec/1_000_000))
-		binary.LittleEndian.PutUint32(rec[4:], uint32(usec%1_000_000))
-		binary.LittleEndian.PutUint32(rec[8:], uint32(len(r.Wire)))
-		binary.LittleEndian.PutUint32(rec[12:], uint32(len(r.Wire)))
-		if _, err := w.Write(rec); err != nil {
-			return err
-		}
-		if _, err := w.Write(r.Wire); err != nil {
+		if err := writePcapRecord(w, rec, records[i].TS, records[i].Wire); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// SavePcap writes the sniffer's records.
-func (s *Sniffer) SavePcap(w io.Writer) error { return WritePcap(w, s.Records) }
+// SavePcap writes the sniffer's records, streaming wire bytes straight out
+// of the arena (no record materialization).
+func (s *Sniffer) SavePcap(w io.Writer) error {
+	if err := writePcapHeader(w); err != nil {
+		return err
+	}
+	rec := make([]byte, 16)
+	for i := 0; i < s.Len(); i++ {
+		if err := writePcapRecord(w, rec, s.ts[i], s.wireAt(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 var errPcap = errors.New("capture: malformed pcap")
 

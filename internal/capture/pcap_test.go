@@ -121,11 +121,11 @@ func TestSnifferSavePcap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != len(r.sniff.Records) {
-		t.Fatalf("restored %d records, want %d", len(got), len(r.sniff.Records))
+	if len(got) != r.sniff.Len() {
+		t.Fatalf("restored %d records, want %d", len(got), r.sniff.Len())
 	}
 	// Analyses still work on restored data.
-	restored := &Sniffer{Records: got}
+	restored := Restore(got)
 	if n := restored.Packets(Match{Filter: FilterProto(packet.ProtoTCP)}, 0, time.Hour); n != 1 {
 		t.Fatalf("restored TCP packets = %d", n)
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package capture
+
+const raceEnabled = false

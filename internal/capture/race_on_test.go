@@ -1,0 +1,8 @@
+//go:build race
+
+package capture
+
+// raceEnabled reports whether the race detector is active. Under -race,
+// sync.Pool deliberately drops a fraction of Puts (to shake out races), so
+// steady-state "the pool satisfies every Get" allocation bounds do not hold.
+const raceEnabled = true

@@ -118,9 +118,9 @@ func discoverServers(l *Lab, p *platform.Profile, cs []*platform.Client, sniff *
 // records.
 func classifyTCP(sniff *capture.Sniffer, server packet.Addr) string {
 	m := capture.Match{Filter: capture.FilterAnd(capture.FilterRemote(server), capture.FilterProto(packet.ProtoTCP))}
-	for i := range sniff.Records {
-		r := &sniff.Records[i]
-		if !matchAccepts(m, r) {
+	for i := 0; i < sniff.Len(); i++ {
+		r := sniff.At(i)
+		if !matchAccepts(m, &r) {
 			continue
 		}
 		pk := r.Packet()
@@ -136,9 +136,9 @@ func classifyTCP(sniff *capture.Sniffer, server packet.Addr) string {
 func classifyUDP(sniff *capture.Sniffer, server packet.Addr) string {
 	m := capture.Match{Filter: capture.FilterAnd(capture.FilterRemote(server), capture.FilterProto(packet.ProtoUDP))}
 	rtp, plain := 0, 0
-	for i := range sniff.Records {
-		r := &sniff.Records[i]
-		if !matchAccepts(m, r) {
+	for i := 0; i < sniff.Len(); i++ {
+		r := sniff.At(i)
+		if !matchAccepts(m, &r) {
 			continue
 		}
 		pk := r.Packet()

@@ -55,7 +55,8 @@ func (d Dir) String() string {
 
 // TapFunc observes wire bytes crossing a host's access point. The bytes are
 // valid only for the duration of the call: the fabric reuses wire buffers
-// across packets, so taps that keep bytes must copy them (as capture does).
+// across packets, so taps that keep bytes must copy them (capture copies
+// into pooled arena chunks, DESIGN §4.11).
 type TapFunc func(at time.Duration, dir Dir, wire []byte)
 
 // Netem is a tc-netem-equivalent impairment applied to one direction of a

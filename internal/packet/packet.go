@@ -305,6 +305,57 @@ func allZero(b []byte) bool {
 	return true
 }
 
+// validateWire runs every structural check Decode enforces without touching
+// the heap. It is the single source of truth for "does this byte string decode":
+// Decode, DecodeInto and PeekFlow all gate on it, so the three can never
+// disagree about validity (the capture index depends on that — a record is
+// classified exactly once, at tap time).
+func validateWire(b []byte) error {
+	if len(b) < IPv4HeaderLen {
+		return errShort
+	}
+	if b[0]>>4 != 4 {
+		return errBadVersion
+	}
+	if b[0] != 0x45 || b[1] != 0 || b[6] != 0 || b[7] != 0 {
+		return errNonCanonical
+	}
+	if int(binary.BigEndian.Uint16(b[2:4])) != len(b) {
+		return errBadLen
+	}
+	if internetChecksum(b[:IPv4HeaderLen]) != 0 {
+		return errChecksum
+	}
+	rest := b[IPv4HeaderLen:]
+	switch Proto(b[9]) {
+	case ProtoUDP:
+		if len(rest) < UDPHeaderLen {
+			return errShort
+		}
+		if int(binary.BigEndian.Uint16(rest[4:6])) != len(rest) {
+			return errBadLen
+		}
+		if rest[6] != 0 || rest[7] != 0 { // checksum: always zero in the lab
+			return errNonCanonical
+		}
+	case ProtoTCP:
+		if len(rest) < TCPHeaderLen {
+			return errShort
+		}
+		if rest[12] != 5<<4 || !allZero(rest[16:20]) { // data offset, checksum, urgent
+			return errNonCanonical
+		}
+	case ProtoICMP:
+		if len(rest) < ICMPHeaderLen {
+			return errShort
+		}
+		if rest[2] != 0 || rest[3] != 0 { // checksum: always zero in the lab
+			return errNonCanonical
+		}
+	}
+	return nil
+}
+
 // Decode parses wire bytes into a Packet, validating structure and the IPv4
 // checksum. Unknown transport protocols decode with the remainder as
 // payload and all transport layers nil.
@@ -315,57 +366,58 @@ func allZero(b []byte) bool {
 // data offset and urgent pointer — are validated, so Marshal(Decode(b)) is
 // byte-identical to b for every b that decodes.
 func Decode(b []byte) (*Packet, error) {
-	if len(b) < IPv4HeaderLen {
-		return nil, errShort
+	p := new(Packet)
+	if err := DecodeInto(p, b); err != nil {
+		return nil, err
 	}
-	if b[0]>>4 != 4 {
-		return nil, errBadVersion
+	return p, nil
+}
+
+// DecodeInto is the zero-allocation sibling of Decode: identical validation
+// and identical decoded fields, but the result lands in *dst, reusing dst's
+// transport-layer struct (when the previous decode left one of the same
+// protocol) and dst.Payload's backing array (when its capacity suffices).
+// Steady-state decoding of same-protocol traffic into a warm scratch Packet
+// therefore allocates nothing — capture's indexed analysis keeps one scratch
+// per protocol class so filters see fully decoded packets without the
+// per-record heap copies Decode makes.
+//
+// On error dst is left unmodified. On success every field of dst is
+// overwritten; pointers previously handed out for dst's transport layers or
+// payload alias the new contents, so a scratch Packet must not escape the
+// call that filled it.
+func DecodeInto(dst *Packet, b []byte) error {
+	if err := validateWire(b); err != nil {
+		return err
 	}
-	if b[0] != 0x45 || b[1] != 0 || b[6] != 0 || b[7] != 0 {
-		return nil, errNonCanonical
-	}
-	total := int(binary.BigEndian.Uint16(b[2:4]))
-	if total != len(b) {
-		return nil, errBadLen
-	}
-	if internetChecksum(b[:IPv4HeaderLen]) != 0 {
-		return nil, errChecksum
-	}
-	p := &Packet{IP: IPv4{
+	dst.IP = IPv4{
 		TTL:      b[8],
 		Protocol: Proto(b[9]),
 		ID:       binary.BigEndian.Uint16(b[4:6]),
 		Src:      Addr(binary.BigEndian.Uint32(b[12:16])),
 		Dst:      Addr(binary.BigEndian.Uint32(b[16:20])),
-		TotalLen: uint16(total),
-	}}
+		TotalLen: binary.BigEndian.Uint16(b[2:4]),
+	}
 	rest := b[IPv4HeaderLen:]
-	switch p.IP.Protocol {
+	switch dst.IP.Protocol {
 	case ProtoUDP:
-		if len(rest) < UDPHeaderLen {
-			return nil, errShort
+		u := dst.UDP
+		if u == nil {
+			u = new(UDP)
 		}
-		u := &UDP{
+		*u = UDP{
 			SrcPort: binary.BigEndian.Uint16(rest[0:2]),
 			DstPort: binary.BigEndian.Uint16(rest[2:4]),
 			Length:  binary.BigEndian.Uint16(rest[4:6]),
 		}
-		if int(u.Length) != len(rest) {
-			return nil, errBadLen
-		}
-		if rest[6] != 0 || rest[7] != 0 { // checksum: always zero in the lab
-			return nil, errNonCanonical
-		}
-		p.UDP = u
-		p.Payload = append([]byte(nil), rest[UDPHeaderLen:]...)
+		dst.UDP, dst.TCP, dst.ICMP = u, nil, nil
+		rest = rest[UDPHeaderLen:]
 	case ProtoTCP:
-		if len(rest) < TCPHeaderLen {
-			return nil, errShort
+		t := dst.TCP
+		if t == nil {
+			t = new(TCP)
 		}
-		if rest[12] != 5<<4 || !allZero(rest[16:20]) { // data offset, checksum, urgent
-			return nil, errNonCanonical
-		}
-		p.TCP = &TCP{
+		*t = TCP{
 			SrcPort: binary.BigEndian.Uint16(rest[0:2]),
 			DstPort: binary.BigEndian.Uint16(rest[2:4]),
 			Seq:     binary.BigEndian.Uint32(rest[4:8]),
@@ -373,25 +425,51 @@ func Decode(b []byte) (*Packet, error) {
 			Flags:   rest[13],
 			Window:  binary.BigEndian.Uint16(rest[14:16]),
 		}
-		p.Payload = append([]byte(nil), rest[TCPHeaderLen:]...)
+		dst.UDP, dst.TCP, dst.ICMP = nil, t, nil
+		rest = rest[TCPHeaderLen:]
 	case ProtoICMP:
-		if len(rest) < ICMPHeaderLen {
-			return nil, errShort
+		i := dst.ICMP
+		if i == nil {
+			i = new(ICMP)
 		}
-		if rest[2] != 0 || rest[3] != 0 { // checksum: always zero in the lab
-			return nil, errNonCanonical
-		}
-		p.ICMP = &ICMP{
+		*i = ICMP{
 			Type: rest[0],
 			Code: rest[1],
 			ID:   binary.BigEndian.Uint16(rest[4:6]),
 			Seq:  binary.BigEndian.Uint16(rest[6:8]),
 		}
-		p.Payload = append([]byte(nil), rest[ICMPHeaderLen:]...)
+		dst.UDP, dst.TCP, dst.ICMP = nil, nil, i
+		rest = rest[ICMPHeaderLen:]
 	default:
-		p.Payload = append([]byte(nil), rest...)
+		dst.UDP, dst.TCP, dst.ICMP = nil, nil, nil
 	}
-	return p, nil
+	dst.Payload = append(dst.Payload[:0], rest...)
+	return nil
+}
+
+// PeekFlow extracts the flow key (protocol, endpoints, ports) of a wire
+// frame without decoding it, in zero allocations. The validation is exactly
+// Decode's — ok is true if and only if Decode(b) would succeed, and the
+// returned Flow equals FlowOf(Decode(b)) — so capture can classify packets
+// at tap time straight from header bytes and trust the classification to
+// stand in for a full decode. ICMP and unknown transports yield port-zero
+// endpoints, as FlowOf does.
+func PeekFlow(b []byte) (Flow, bool) {
+	if validateWire(b) != nil {
+		return Flow{}, false
+	}
+	f := Flow{
+		Proto: Proto(b[9]),
+		Src:   Endpoint{Addr: Addr(binary.BigEndian.Uint32(b[12:16]))},
+		Dst:   Endpoint{Addr: Addr(binary.BigEndian.Uint32(b[16:20]))},
+	}
+	switch f.Proto {
+	case ProtoUDP, ProtoTCP:
+		rest := b[IPv4HeaderLen:]
+		f.Src.Port = binary.BigEndian.Uint16(rest[0:2])
+		f.Dst.Port = binary.BigEndian.Uint16(rest[2:4])
+	}
+	return f, true
 }
 
 // Endpoint is one side of a flow: an address/port pair. It is comparable and

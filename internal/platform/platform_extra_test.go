@@ -25,8 +25,8 @@ func TestGestureDrivesRemoteExpression(t *testing.T) {
 	sched.RunUntil(11 * time.Second)
 
 	codec := Get(Worlds).Codec
-	for i := range sniff.Records {
-		r := &sniff.Records[i]
+	for i := 0; i < sniff.Len(); i++ {
+		r := sniff.At(i)
 		pk := r.Packet()
 		if pk == nil || pk.UDP == nil || len(pk.Payload) == 0 || pk.Payload[0] != kindForward {
 			continue
