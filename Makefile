@@ -24,15 +24,16 @@ race:
 audit:
 	go run ./cmd/svrlab all -seed 42 -repeats 1 -audit
 
-# Fuzz every wire codec for FUZZTIME each (DESIGN.md "The codec hardening
-# contract"). Native Go fuzzing takes one target per invocation, so the
+# Fuzz every wire codec — plus the scheduler's differential ordering
+# target — for FUZZTIME each (DESIGN.md "The codec hardening contract",
+# §4.12). Native Go fuzzing takes one target per invocation, so the
 # loop enumerates targets with -list and runs them back to back. Crashers
 # land in testdata/fuzz/<Target>/ and replay forever after in plain
 # `go test` via the corpus-replay tests. CI runs this with a short
 # FUZZTIME as a smoke pass; use FUZZTIME=60s locally before merging codec
 # changes.
 FUZZTIME ?= 10s
-FUZZPKGS = ./internal/packet ./internal/platform ./internal/capture ./internal/chaos ./internal/secure
+FUZZPKGS = ./internal/packet ./internal/platform ./internal/capture ./internal/chaos ./internal/secure ./internal/simtime
 
 fuzz:
 	@set -e; for pkg in $(FUZZPKGS); do \

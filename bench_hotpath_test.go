@@ -229,6 +229,95 @@ func BenchmarkHotpathCaptureFlows(b *testing.B) {
 	}
 }
 
+// BenchmarkHotpathSchedPostDispatch measures raw scheduler throughput on
+// the packet-hop shape: pooled fire-and-forget posts at staggered near
+// deltas, drained in batches. Per op = one post + one dispatch.
+func BenchmarkHotpathSchedPostDispatch(b *testing.B) {
+	s := simtime.NewScheduler()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 512 {
+		base := s.Now()
+		for j := 0; j < 512; j++ {
+			// 1 µs .. ~128 µs spread, colliding across the batch like
+			// concurrent per-hop events do.
+			s.Post(base+time.Duration(1+(j*37)%128)*time.Microsecond, fn)
+		}
+		s.Run()
+	}
+}
+
+// BenchmarkHotpathSchedCancelChurn is the TCP RTO churn shape: a window of
+// outstanding cancellable timers where every op cancels the oldest timer
+// and re-arms a fresh one, with the clock crawling forward underneath. On
+// the binary heap every cancel was an O(log n) sift repair; on the wheel
+// it is an O(1) slot-list unlink.
+func BenchmarkHotpathSchedCancelChurn(b *testing.B) {
+	s := simtime.NewScheduler()
+	fn := func() {}
+	const window = 4096 // outstanding timers, one per live connection
+	pend := make([]*simtime.Event, 0, window)
+	for i := 0; i < window; i++ {
+		pend = append(pend, s.At(s.Now()+time.Duration(10+i%61)*time.Millisecond, fn))
+	}
+	head := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Cancel(pend[head])
+		pend[head] = s.At(s.Now()+time.Duration(10+i%61)*time.Millisecond, fn)
+		head = (head + 1) % window
+		if i%64 == 63 {
+			// Crawl time forward so arms land across wheel slots, the way
+			// RTO deadlines track a moving Now.
+			s.RunUntil(s.Now() + 100*time.Microsecond)
+		}
+	}
+}
+
+// BenchmarkHotpathSchedMixedHorizon interleaves near packet-hop events
+// with sparse far timers (keepalives, session ends) so dispatch constantly
+// crosses wheel levels — the cascade-heavy worst case for a timer wheel,
+// the deep-heap case for a binary heap.
+func BenchmarkHotpathSchedMixedHorizon(b *testing.B) {
+	s := simtime.NewScheduler()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 256 {
+		base := s.Now()
+		for j := 0; j < 240; j++ {
+			s.Post(base+time.Duration(1+(j*53)%512)*time.Microsecond, fn)
+		}
+		for j := 0; j < 16; j++ {
+			// 1s..16s out: lands two or three wheel levels up.
+			s.Post(base+time.Duration(1+j)*time.Second, fn)
+		}
+		s.RunUntil(base + 600*time.Microsecond)
+	}
+	b.StopTimer()
+	s.Run()
+}
+
+// BenchmarkHotpathSchedTicker measures the steady-state cost of one tick
+// of a repeating timer — re-arm plus dispatch, zero allocations once the
+// ticker exists.
+func BenchmarkHotpathSchedTicker(b *testing.B) {
+	s := simtime.NewScheduler()
+	ticks := 0
+	s.Ticker(time.Millisecond, func() { ticks++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 64 {
+		s.RunUntil(s.Now() + 64*time.Millisecond)
+	}
+	b.StopTimer()
+	if ticks == 0 {
+		b.Fatal("ticker never ticked")
+	}
+}
+
 // BenchmarkHotpathObsHandle records through precomputed handles — the
 // per-packet metrics path after the conversion.
 func BenchmarkHotpathObsHandle(b *testing.B) {

@@ -113,13 +113,24 @@ func compare(base, cur map[string]benchResult, threshold float64) (lines []strin
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	var compared, added, gone int
 	for _, name := range names {
 		c := cur[name]
 		b, ok := base[name]
 		if !ok {
-			lines = append(lines, fmt.Sprintf("  new  %-44s %10.1f ns/op (no baseline)", name, c.NsPerOp))
+			// A benchmark with no baseline is tracked from day one: show
+			// its numbers (allocs included, since the allocs column is the
+			// hot-path contract) so the first archived run has a visible
+			// starting point.
+			line := fmt.Sprintf("  new  %-44s %10.1f ns/op (no baseline)", name, c.NsPerOp)
+			if c.HasAllocs {
+				line += fmt.Sprintf(", %g allocs/op", c.AllocsPerOp)
+			}
+			lines = append(lines, line)
+			added++
 			continue
 		}
+		compared++
 		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
 		status := "ok  "
 		switch {
@@ -136,11 +147,18 @@ func compare(base, cur map[string]benchResult, threshold float64) (lines []strin
 		}
 		lines = append(lines, line)
 	}
+	baseNames := make([]string, 0, len(base))
 	for name := range base {
 		if _, ok := cur[name]; !ok {
-			lines = append(lines, fmt.Sprintf("  gone %s (in baseline only)", name))
+			baseNames = append(baseNames, name)
 		}
 	}
+	sort.Strings(baseNames)
+	for _, name := range baseNames {
+		lines = append(lines, fmt.Sprintf("  gone %s (in baseline only)", name))
+		gone++
+	}
+	lines = append(lines, fmt.Sprintf("  %d compared, %d new, %d gone", compared, added, gone))
 	return lines, regressed
 }
 

@@ -86,6 +86,33 @@ func TestCompareToleratesNewAndGone(t *testing.T) {
 	}
 }
 
+// TestCompareReportsNewBenchmarks: a benchmark in the current run with no
+// archived baseline must be reported as "new" — with its numbers and a
+// summary tally, not silently ignored — and must not fail the gate.
+func TestCompareReportsNewBenchmarks(t *testing.T) {
+	base := map[string]benchResult{
+		"BenchmarkA": {NsPerOp: 100, HasAllocs: true},
+	}
+	cur := map[string]benchResult{
+		"BenchmarkA":        {NsPerOp: 101, HasAllocs: true},
+		"BenchmarkSchedNew": {NsPerOp: 76.4, AllocsPerOp: 0, HasAllocs: true},
+	}
+	lines, regressed := compare(base, cur, 0.25)
+	if regressed {
+		t.Fatal("new benchmark flagged as regression")
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "new  BenchmarkSchedNew") {
+		t.Fatalf("new benchmark not reported:\n%s", joined)
+	}
+	if !strings.Contains(joined, "76.4 ns/op (no baseline), 0 allocs/op") {
+		t.Fatalf("new benchmark numbers missing:\n%s", joined)
+	}
+	if !strings.Contains(joined, "1 compared, 1 new, 0 gone") {
+		t.Fatalf("summary tally missing or wrong:\n%s", joined)
+	}
+}
+
 func TestCompareImprovementPasses(t *testing.T) {
 	base := map[string]benchResult{"BenchmarkA": {NsPerOp: 405, AllocsPerOp: 2, HasAllocs: true}}
 	cur := map[string]benchResult{"BenchmarkA": {NsPerOp: 283, AllocsPerOp: 0, HasAllocs: true}}

@@ -1,0 +1,233 @@
+package simtime
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// refSched is the differential-fuzz reference: a deliberately naive
+// scheduler that dispatches by linear scan over (at, seq). It shares no
+// code with the wheel, so any ordering bug in either implementation shows
+// up as a log divergence.
+type refSched struct {
+	now    time.Duration
+	seq    uint64
+	events []*refEvent
+}
+
+type refEvent struct {
+	at   time.Duration
+	seq  uint64
+	fn   func()
+	dead bool
+}
+
+func (r *refSched) schedule(t time.Duration, fn func()) *refEvent {
+	if t < r.now {
+		panic("refSched: past")
+	}
+	e := &refEvent{at: t, seq: r.seq, fn: fn}
+	r.seq++
+	r.events = append(r.events, e)
+	return e
+}
+
+func (r *refSched) cancel(e *refEvent) {
+	if e == nil || e.dead {
+		return
+	}
+	e.dead = true
+	for i, x := range r.events {
+		if x == e {
+			r.events = append(r.events[:i], r.events[i+1:]...)
+			break
+		}
+	}
+}
+
+func (r *refSched) findMin() *refEvent {
+	var best *refEvent
+	for _, e := range r.events {
+		if best == nil || e.at < best.at || (e.at == best.at && e.seq < best.seq) {
+			best = e
+		}
+	}
+	return best
+}
+
+func (r *refSched) runUntil(t time.Duration) {
+	for {
+		e := r.findMin()
+		if e == nil || e.at > t {
+			break
+		}
+		r.cancel(e) // remove (dead flag is irrelevant once dispatched)
+		r.now = e.at
+		e.fn()
+	}
+	if r.now < t {
+		r.now = t
+	}
+}
+
+func (r *refSched) run() {
+	for {
+		e := r.findMin()
+		if e == nil {
+			break
+		}
+		r.cancel(e)
+		r.now = e.at
+		e.fn()
+	}
+}
+
+// schedOp is one decoded fuzz-program instruction.
+type schedOp struct {
+	kind  byte          // 0=At 1=Post 2=Cancel 3=RunUntil 4=At-with-child
+	delta time.Duration // relative offset for schedules / run horizon
+	arg   byte          // cancel-target selector / child-delay seed
+}
+
+// decodeProgram turns raw fuzz bytes into ops. Deltas use an
+// exponent+mantissa encoding so programs reach every wheel level and the
+// overflow heap: delta = mantissa << exp, exp in [0, 50), including
+// mantissa 0 for exact same-tick collisions.
+func decodeProgram(data []byte) []schedOp {
+	var ops []schedOp
+	for len(data) >= 4 && len(ops) < 256 {
+		exp := uint(data[1]) % 50
+		delta := time.Duration(uint64(data[2]) << exp)
+		if delta < 0 || delta > time.Duration(1)<<55 {
+			delta = time.Duration(1) << 55
+		}
+		ops = append(ops, schedOp{kind: data[0] % 5, delta: delta, arg: data[3]})
+		data = data[4:]
+	}
+	return ops
+}
+
+// runProgram executes ops against either the wheel scheduler or the
+// reference, returning the dispatch log as "time:id" strings plus the
+// final clock. Event ids are assigned in schedule order, so identical logs
+// mean identical (at, seq) dispatch order.
+func runProgram(ops []schedOp, useWheel bool) (log []string, final time.Duration) {
+	var (
+		w       *Scheduler
+		r       *refSched
+		nextID  int
+		handles []*Event    // cancellable wheel events, by schedule order
+		rhandle []*refEvent // same for the reference
+	)
+	if useWheel {
+		w = NewScheduler()
+	} else {
+		r = &refSched{}
+	}
+	now := func() time.Duration {
+		if useWheel {
+			return w.Now()
+		}
+		return r.now
+	}
+	// clampT keeps virtual time far from int64 overflow so both
+	// implementations see in-range, identical target times.
+	clampT := func(d time.Duration) time.Duration {
+		t := now() + d
+		if max := time.Duration(1) << 60; t > max || t < now() {
+			t = max
+		}
+		return t
+	}
+	var schedule func(t time.Duration, child bool, childSeed byte) int
+	schedule = func(t time.Duration, child bool, childSeed byte) int {
+		id := nextID
+		nextID++
+		fn := func() {
+			log = append(log, fmt.Sprintf("%d:%d", now(), id))
+			if child {
+				// Deterministic follow-on schedule, exercising
+				// schedule-during-dispatch in both implementations.
+				d := time.Duration(uint64(childSeed) << (uint(id) % 20))
+				schedule(clampT(d), false, 0)
+			}
+		}
+		if useWheel {
+			handles = append(handles, w.At(t, fn))
+		} else {
+			rhandle = append(rhandle, r.schedule(t, fn))
+		}
+		return id
+	}
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			schedule(clampT(op.delta), false, 0)
+		case 1:
+			id := nextID
+			nextID++
+			fn := func() { log = append(log, fmt.Sprintf("%d:%d", now(), id)) }
+			t := clampT(op.delta)
+			if useWheel {
+				w.Post(t, fn)
+				handles = append(handles, nil) // keep index spaces aligned
+			} else {
+				r.schedule(t, fn)
+				rhandle = append(rhandle, nil)
+			}
+		case 2:
+			if n := len(handles) + len(rhandle); n > 0 {
+				if useWheel {
+					w.Cancel(handles[int(op.arg)%len(handles)])
+				} else {
+					r.cancel(rhandle[int(op.arg)%len(rhandle)])
+				}
+			}
+		case 3:
+			if useWheel {
+				w.RunUntil(clampT(op.delta))
+			} else {
+				r.runUntil(clampT(op.delta))
+			}
+		case 4:
+			schedule(clampT(op.delta), true, op.arg)
+		}
+	}
+	if useWheel {
+		w.Run()
+		return log, w.Now()
+	}
+	r.run()
+	return log, r.now
+}
+
+// FuzzSchedulerOrder is the differential fuzz target: arbitrary
+// schedule/post/cancel/run-until programs must dispatch in the identical
+// (at, seq) order on the hierarchical wheel and on the naive reference.
+func FuzzSchedulerOrder(f *testing.F) {
+	// Same-tick FIFO collisions (mantissa 0 → delta 0).
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	// Mixed near/far schedules with a run-until between them.
+	f.Add([]byte{0, 10, 7, 0, 1, 20, 3, 0, 3, 15, 1, 0, 0, 45, 9, 0})
+	// Cancel-heavy churn.
+	f.Add([]byte{0, 12, 5, 0, 0, 12, 6, 0, 2, 0, 0, 1, 0, 30, 2, 0, 2, 0, 0, 0})
+	// Far-future overflow traffic plus dispatch-time child schedules.
+	f.Add([]byte{4, 48, 200, 9, 0, 49, 255, 0, 3, 49, 255, 0, 4, 5, 3, 17})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := decodeProgram(data)
+		wheelLog, wheelNow := runProgram(ops, true)
+		refLog, refNow := runProgram(ops, false)
+		if len(wheelLog) != len(refLog) {
+			t.Fatalf("dispatch count diverged: wheel %d, ref %d", len(wheelLog), len(refLog))
+		}
+		for i := range wheelLog {
+			if wheelLog[i] != refLog[i] {
+				t.Fatalf("dispatch %d diverged: wheel %q, ref %q", i, wheelLog[i], refLog[i])
+			}
+		}
+		if wheelNow != refNow {
+			t.Fatalf("final clock diverged: wheel %v, ref %v", wheelNow, refNow)
+		}
+	})
+}

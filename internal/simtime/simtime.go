@@ -6,6 +6,11 @@
 // when the scheduler dispatches the next event, so a 300-second experiment
 // completes in milliseconds of wall time and two runs with the same seed are
 // bit-identical.
+//
+// The event queue is a hierarchical timer wheel (wheel.go) with a binary
+// min-heap overflow for events past the wheel horizon: scheduling and
+// cancelling are O(1), and dispatch order is exactly (at, seq) — events
+// with equal firing times run in the order they were scheduled.
 package simtime
 
 import (
@@ -17,11 +22,19 @@ import (
 // the order they were scheduled (FIFO tie-breaking via a sequence number),
 // which keeps runs deterministic.
 type Event struct {
-	at    time.Duration
-	seq   uint64
-	fn    func()
-	index int // heap index; -1 once removed
-	dead  bool
+	at  time.Duration
+	seq uint64
+	fn  func()
+	// Intrusive wheel-slot links: an Event threads directly through its
+	// slot's doubly-linked list, so scheduling builds no container nodes
+	// and Cancel is a pointer splice.
+	next, prev *Event
+	// slot is the event's location: a wheel slot index when >= 0, slotNone
+	// when unqueued, or an encoded overflow-heap position (see heapSlot)
+	// when <= slotOverflow.
+	slot  int32
+	fired bool // dispatched normally
+	dead  bool // cancelled before dispatch
 	// pooled events came from the scheduler's free list (Post/PostAfter).
 	// They are never exposed to callers, so no one can hold a stale pointer
 	// across recycling; after dispatch they return to the free list instead
@@ -32,137 +45,18 @@ type Event struct {
 // At reports the virtual time at which the event fires.
 func (e *Event) At() time.Duration { return e.at }
 
-// Cancelled reports whether Cancel was called on the event.
+// Cancelled reports whether Cancel removed the event before it fired.
+// A fired event is not cancelled: the two states are mutually exclusive.
 func (e *Event) Cancelled() bool { return e.dead }
 
-// heapEntry keeps the ordering key (at, seq) inline in the heap slice so
-// sift comparisons never dereference an Event. The scheduler heap is the
-// hottest structure in the lab — every packet hop is at least one push and
-// one pop — and the inline keys plus the manual hole-shifting sifts below
-// are worth ~2× over container/heap's interface-dispatched swaps.
-type heapEntry struct {
-	at  time.Duration
-	seq uint64
-	e   *Event
-}
-
-type eventHeap []heapEntry
-
-func entryBefore(a, b heapEntry) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-// push appends the entry and sifts it up by shifting ancestors into the
-// hole (one final write instead of a swap per level).
-func (h *eventHeap) push(x heapEntry) {
-	*h = append(*h, x)
-	a := *h
-	j := len(a) - 1
-	for j > 0 {
-		parent := (j - 1) / 2
-		if !entryBefore(x, a[parent]) {
-			break
-		}
-		a[j] = a[parent]
-		a[j].e.index = j
-		j = parent
-	}
-	a[j] = x
-	x.e.index = j
-}
-
-// siftDown moves the entry at j toward the leaves until both children are
-// not earlier, again shifting through a hole. Reports whether it moved.
-func (h eventHeap) siftDown(j int) bool {
-	n := len(h)
-	start := j
-	x := h[j]
-	for {
-		l := 2*j + 1
-		if l >= n {
-			break
-		}
-		c := l
-		if r := l + 1; r < n && entryBefore(h[r], h[l]) {
-			c = r
-		}
-		if !entryBefore(h[c], x) {
-			break
-		}
-		h[j] = h[c]
-		h[j].e.index = j
-		j = c
-	}
-	h[j] = x
-	x.e.index = j
-	return j != start
-}
-
-// popMin removes and returns the earliest event.
-func (h *eventHeap) popMin() *Event {
-	a := *h
-	e := a[0].e
-	n := len(a) - 1
-	if n > 0 {
-		a[0] = a[n]
-	}
-	a[n] = heapEntry{}
-	*h = a[:n]
-	if n > 1 {
-		(*h).siftDown(0)
-	} else if n == 1 {
-		a[0].e.index = 0
-	}
-	e.index = -1
-	return e
-}
-
-// remove deletes the entry at index i (Cancel's path): the last entry
-// replaces it and is re-fixed downward, then upward if it did not move —
-// the same order container/heap.Remove uses.
-func (h *eventHeap) remove(i int) {
-	a := *h
-	a[i].e.index = -1
-	n := len(a) - 1
-	if i != n {
-		a[i] = a[n]
-		a[i].e.index = i
-	}
-	a[n] = heapEntry{}
-	*h = a[:n]
-	if i < n {
-		if !h.siftDown(i) {
-			h.siftUp(i)
-		}
-	}
-}
-
-// siftUp restores the heap property upward from index i.
-func (h eventHeap) siftUp(i int) {
-	x := h[i]
-	j := i
-	for j > 0 {
-		parent := (j - 1) / 2
-		if !entryBefore(x, h[parent]) {
-			break
-		}
-		h[j] = h[parent]
-		h[j].e.index = j
-		j = parent
-	}
-	h[j] = x
-	x.e.index = j
-}
+// Fired reports whether the event's callback was dispatched.
+func (e *Event) Fired() bool { return e.fired }
 
 // Scheduler is a single-threaded discrete-event executor with a virtual
 // clock. The zero value is not usable; call NewScheduler.
 type Scheduler struct {
 	now     time.Duration
 	seq     uint64
-	events  eventHeap
 	stopped bool
 	// Dispatched counts events executed since construction; useful for
 	// regression tests that pin simulation cost.
@@ -171,6 +65,25 @@ type Scheduler struct {
 	// the peak number of concurrently pending pooled events, so it stays
 	// small even over million-packet runs.
 	free []*Event
+
+	// Timer wheel state (wheel.go). elapsed is the wheel cursor in ticks
+	// (ns): it trails the earliest pending event and never advances past a
+	// dispatch horizon the caller committed to, so it is always <= the next
+	// value now can take. The scalar fields stay ahead of the slot arrays
+	// so the per-dispatch state fits in the struct's first cache lines.
+	elapsed   uint64
+	levelMask uint32 // bit ℓ set iff level ℓ has any occupied slot
+	pending   int    // queued events across staged + wheel + overflow
+	// staged is the singleton fast path: an event enqueued into an empty
+	// queue is held here and the wheel is never touched. The drain-loop
+	// steady state (dispatch one event, schedule the next) runs entirely
+	// through this pointer. A staged event never migrates into the wheel;
+	// findMin arbitrates staged vs wheel minimum by (at, seq).
+	staged   *Event
+	overflow overflowHeap       // events past the wheel horizon
+	occupied [numLevels]uint64  // per-level slot occupancy bitmaps
+	head     [wheelSlots]*Event // per-slot list heads (FIFO within a tick)
+	tail     [wheelSlots]*Event // per-slot list tails
 }
 
 // NewScheduler returns a scheduler with the clock at zero.
@@ -185,7 +98,7 @@ func (s *Scheduler) Now() time.Duration { return s.now }
 func (s *Scheduler) Dispatched() uint64 { return s.dispatched }
 
 // Pending returns the number of events waiting in the queue.
-func (s *Scheduler) Pending() int { return len(s.events) }
+func (s *Scheduler) Pending() int { return s.pending }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: that is always a logic error in a discrete-event model.
@@ -196,15 +109,31 @@ func (s *Scheduler) At(t time.Duration, fn func()) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("simtime: scheduling at %v, before now %v", t, s.now))
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
+	e := &Event{at: t, seq: s.seq, fn: fn, slot: slotNone}
 	s.seq++
-	s.events.push(heapEntry{at: t, seq: e.seq, e: e})
+	s.enqueue(e)
 	return e
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
 func (s *Scheduler) After(d time.Duration, fn func()) *Event {
 	return s.At(s.now+d, fn)
+}
+
+// rearm re-schedules a fired event for time t, reusing the Event struct.
+// The caller must own the event and know it is not queued (fired or
+// cancelled). This is the Ticker fast path: one Event per ticker for its
+// whole lifetime instead of one per tick.
+func (s *Scheduler) rearm(e *Event, t time.Duration) {
+	if t < s.now {
+		panic(fmt.Sprintf("simtime: scheduling at %v, before now %v", t, s.now))
+	}
+	e.at = t
+	e.seq = s.seq
+	s.seq++
+	e.fired = false
+	e.dead = false
+	s.enqueue(e)
 }
 
 // Post schedules fn at absolute virtual time t without returning the Event.
@@ -224,13 +153,13 @@ func (s *Scheduler) Post(t time.Duration, fn func()) {
 		e = s.free[n-1]
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
-		e.at, e.fn, e.dead = t, fn, false
+		e.at, e.fn, e.fired, e.dead = t, fn, false, false
 	} else {
-		e = &Event{at: t, fn: fn, pooled: true}
+		e = &Event{at: t, fn: fn, pooled: true, slot: slotNone}
 	}
 	e.seq = s.seq
 	s.seq++
-	s.events.push(heapEntry{at: t, seq: e.seq, e: e})
+	s.enqueue(e)
 }
 
 // PostAfter is Post at now+d.
@@ -245,36 +174,60 @@ func (s *Scheduler) recycle(e *Event) {
 	}
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
+// Cancel removes a pending event in O(1) (a slot-list unlink; an overflow
+// heap repair for far-future events). Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (s *Scheduler) Cancel(e *Event) {
-	if e == nil || e.dead {
+	if e == nil || e.dead || e.fired {
 		return
 	}
 	e.dead = true
-	if e.index >= 0 {
-		s.events.remove(e.index)
+	s.take(e)
+}
+
+// dispatch removes e from the queue, advances the clock, and runs its
+// callback. e must be the findMin result.
+func (s *Scheduler) dispatch(e *Event) {
+	if e.slot == slotStaged {
+		s.staged = nil
+		e.slot = slotNone
+		s.pending--
+	} else {
+		s.take(e)
 	}
+	e.fired = true
+	s.now = e.at
+	// Drag the wheel cursor along: e is the global minimum, so no pending
+	// tick is behind it and the slot invariants hold. Without this the
+	// cursor could stagnate (the lone-event shortcut skips cascades) and
+	// long runs would push every new event past the wheel horizon into
+	// the overflow heap.
+	if t := uint64(e.at); t > s.elapsed {
+		s.elapsed = t
+	}
+	s.dispatched++
+	fn := e.fn
+	s.recycle(e)
+	fn()
 }
 
 // Step executes the single earliest pending event and returns true, or
 // returns false if the queue is empty or the scheduler is stopped. The clock
 // jumps to the event's firing time before the callback runs.
 func (s *Scheduler) Step() bool {
-	for len(s.events) > 0 && !s.stopped {
-		e := s.events.popMin()
-		if e.dead {
-			continue
-		}
-		e.dead = true
-		s.now = e.at
-		s.dispatched++
-		fn := e.fn
-		s.recycle(e)
-		fn()
-		return true
+	if s.stopped || s.pending == 0 {
+		return false
 	}
-	return false
+	// Staged-singleton fast path: with exactly one pending event it is the
+	// minimum by construction — skip findMin entirely.
+	e := s.staged
+	if e == nil || s.pending != 1 {
+		if e = s.findMin(^uint64(0)); e == nil {
+			return false
+		}
+	}
+	s.dispatch(e)
+	return true
 }
 
 // Run dispatches events until the queue drains or the scheduler is stopped.
@@ -290,16 +243,16 @@ func (s *Scheduler) RunUntil(t time.Duration) {
 	if t < s.now {
 		panic(fmt.Sprintf("simtime: RunUntil(%v) is before now %v", t, s.now))
 	}
-	for len(s.events) > 0 && !s.stopped {
-		next := s.events[0]
-		if next.e.dead {
-			s.events.popMin()
-			continue
-		}
-		if next.at > t {
+	// findMin doubles as the bounded peek: it only surfaces (and only
+	// cascades toward) events at or before the horizon, so the wheel
+	// cursor can never overtake t, and therefore never overtakes now.
+	limit := uint64(t)
+	for !s.stopped {
+		e := s.findMin(limit)
+		if e == nil {
 			break
 		}
-		s.Step()
+		s.dispatch(e)
 	}
 	if !s.stopped && s.now < t {
 		s.now = t
@@ -316,6 +269,10 @@ func (s *Scheduler) Stopped() bool { return s.stopped }
 // Ticker invokes fn every interval, starting at now+interval, until
 // cancelled. It returns a cancel function. Jitterless; callers wanting jitter
 // should reschedule themselves.
+//
+// A ticker owns a single Event for its whole lifetime, re-armed after each
+// tick (the same lazy-deferral shape as the transport RTO timer), so a
+// steady tick allocates nothing.
 func (s *Scheduler) Ticker(interval time.Duration, fn func()) (cancel func()) {
 	if interval <= 0 {
 		panic("simtime: non-positive ticker interval")
@@ -329,7 +286,7 @@ func (s *Scheduler) Ticker(interval time.Duration, fn func()) (cancel func()) {
 		}
 		fn()
 		if !stopped && !s.stopped {
-			ev = s.After(interval, tick)
+			s.rearm(ev, s.now+interval)
 		}
 	}
 	ev = s.After(interval, tick)
