@@ -214,6 +214,11 @@ func FuzzSchedulerOrder(f *testing.F) {
 	f.Add([]byte{0, 12, 5, 0, 0, 12, 6, 0, 2, 0, 0, 1, 0, 30, 2, 0, 2, 0, 0, 0})
 	// Far-future overflow traffic plus dispatch-time child schedules.
 	f.Add([]byte{4, 48, 200, 9, 0, 49, 255, 0, 3, 49, 255, 0, 4, 5, 3, 17})
+	// Overflow-vs-wheel same-tick tie: park an event at tick 255<<35 in the
+	// overflow heap, dispatch at 200<<35 so the cursor crosses the wheel
+	// horizon, then schedule the same tick again — it lands alone in a
+	// level-6 slot, and the overflow event (lower seq) must still win.
+	f.Add([]byte{0, 35, 200, 0, 0, 35, 255, 0, 3, 35, 200, 0, 0, 35, 55, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ops := decodeProgram(data)
 		wheelLog, wheelNow := runProgram(ops, true)

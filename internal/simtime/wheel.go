@@ -233,10 +233,14 @@ func (s *Scheduler) scanMin(limit uint64) *Event {
 				secondBase = base
 			}
 		}
+		// overflowAt is tracked separately from secondBase because the tie
+		// rule differs: a wheel slot tying the lone event's exact tick sits
+		// at a lower level (its same-tick events were scheduled later, so
+		// the lone event may win a tie), whereas an overflow event at the
+		// same tick was necessarily scheduled *first* (level is
+		// non-increasing for a fixed tick) and must dispatch first.
+		overflowAt := ^uint64(0)
 		if len(s.overflow) > 0 {
-			// An overflow event at the same tick as any wheel event was
-			// necessarily scheduled first (level is non-increasing for a
-			// fixed tick), so the overflow head wins ties too: o <= base.
 			o := uint64(s.overflow[0].at)
 			if bestLvl < 0 || o <= bestBase {
 				if o > limit {
@@ -244,9 +248,7 @@ func (s *Scheduler) scanMin(limit uint64) *Event {
 				}
 				return s.overflow[0].e
 			}
-			if o < secondBase {
-				secondBase = o
-			}
+			overflowAt = o
 		}
 		if bestLvl < 0 || bestBase > limit {
 			return nil
@@ -258,12 +260,15 @@ func (s *Scheduler) scanMin(limit uint64) *Event {
 		// whose exact tick beats every other candidate's lower bound, it is
 		// the global minimum — return it from its high-level slot and skip
 		// the cascades a sparse queue would otherwise pay per event. A tick
-		// tying another slot's base still wins: the tied slot sits at a
-		// lower level, so its same-tick events were scheduled later.
+		// tying another *wheel slot's* base still wins: the tied slot sits
+		// at a lower level, so its same-tick events were scheduled later.
+		// Against the overflow head the comparison is strict — a same-tick
+		// overflow event carries a lower seq, so the tie must fall through
+		// to the cascade path, where `o <= bestBase` awards it correctly.
 		shift := uint(bestLvl) * levelBits
 		idx := bestLvl*slotsPerLevel + int((bestBase>>shift)&slotMask)
 		if h := s.head[idx]; h == s.tail[idx] {
-			if tick := uint64(h.at); tick <= secondBase {
+			if tick := uint64(h.at); tick <= secondBase && tick < overflowAt {
 				if tick > limit {
 					return nil
 				}

@@ -117,17 +117,26 @@ func TestOverflowHeapPath(t *testing.T) {
 // TestOverflowSameTickBeatsWheel: an overflow event and a later-scheduled
 // wheel event at the same tick must dispatch in seq order (overflow first),
 // once the cursor has advanced enough for the tick to be wheel-reachable.
+// The dispatched cursor-advancing event must itself land past the 2^42
+// tick boundary: RunUntil alone moves now but not the wheel cursor, and a
+// cursor below the boundary would send the second At back to the overflow
+// heap, where seq order holds trivially and the wheel-vs-overflow tie is
+// never exercised.
 func TestOverflowSameTickBeatsWheel(t *testing.T) {
 	s := NewScheduler()
 	target := time.Duration(1)<<horizonBits + 5*time.Minute
 	var order []int
-	s.At(time.Hour, func() { order = append(order, -1) }) // staged; advances the cursor
-	s.At(target, func() { order = append(order, 0) })     // past horizon from t=0
+	// Staged; dispatching it drags the wheel cursor across the boundary.
+	s.At(target-time.Minute, func() { order = append(order, -1) })
+	s.At(target, func() { order = append(order, 0) }) // past horizon from t=0
 	if len(s.overflow) != 1 {
 		t.Fatalf("overflow holds %d events, want 1", len(s.overflow))
 	}
 	s.RunUntil(target - time.Minute)
-	s.At(target, func() { order = append(order, 1) }) // same tick, now in the wheel
+	s.At(target, func() { order = append(order, 1) }) // same tick, lone wheel slot
+	if len(s.overflow) != 1 {
+		t.Fatalf("overflow holds %d events after second At, want 1 (wheel not reached)", len(s.overflow))
+	}
 	s.Run()
 	want := []int{-1, 0, 1}
 	for i := range want {
